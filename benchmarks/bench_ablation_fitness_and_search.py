@@ -1,0 +1,120 @@
+"""Ablation benches for the design choices called out in DESIGN.md §4:
+
+* NCD vs BinHunt-score fitness (the §4.2 cost/quality trade-off),
+* genetic algorithm vs hill climbing vs random search (§4.1 rationale),
+* LZMA vs zlib vs bz2 inside NCD,
+* constraint engine on vs off (failed-compilation rate).
+"""
+
+import random
+import time
+
+from conftest import run_once
+
+from repro.compilers import SimLLVM
+from repro.difftools import ncd_images
+from repro.opt.flags import FlagVector
+from repro.tuner import BinTuner, BinTunerConfig, BuildSpec, ConstraintEngine, GAParameters
+from repro.workloads import benchmark as load_benchmark
+
+WORKLOAD = "429.mcf"
+
+
+def _make_tuner(fitness_kind: str, strategy: str = "genetic", max_iterations: int = 16) -> BinTuner:
+    workload = load_benchmark(WORKLOAD)
+    compiler = SimLLVM()
+    config = BinTunerConfig(
+        max_iterations=max_iterations,
+        ga=GAParameters(population_size=6, seed=5),
+        stall_window=10,
+        fitness_kind=fitness_kind,
+        search_strategy=strategy,
+    )
+    return BinTuner(compiler, BuildSpec(name=workload.name, source=workload.source), config)
+
+
+def test_ablation_fitness_function_cost(benchmark):
+    """NCD fitness should be much cheaper per iteration than BinHunt fitness."""
+
+    def run() -> dict:
+        timings = {}
+        for kind in ("ncd", "binhunt"):
+            tuner = _make_tuner(kind, max_iterations=8)
+            started = time.perf_counter()
+            result = tuner.run()
+            timings[kind] = {
+                "seconds_per_iteration": (time.perf_counter() - started) / max(result.iterations, 1),
+                "best_fitness": result.best_fitness,
+            }
+        return timings
+
+    timings = run_once(benchmark, run)
+    print("\nAblation — fitness function cost (per compilation iteration):")
+    for kind, data in timings.items():
+        print(f"  {kind:8s} {data['seconds_per_iteration']:.2f}s/iter, best={data['best_fitness']:.3f}")
+    assert timings["ncd"]["seconds_per_iteration"] <= timings["binhunt"]["seconds_per_iteration"] * 1.5
+
+
+def test_ablation_search_strategies(benchmark):
+    """The GA should find configurations at least as good as the baselines."""
+
+    def run() -> dict:
+        scores = {}
+        for strategy in ("genetic", "hillclimb", "random"):
+            tuner = _make_tuner("ncd", strategy=strategy, max_iterations=16)
+            scores[strategy] = tuner.run().best_fitness
+        return scores
+
+    scores = run_once(benchmark, run)
+    print("\nAblation — search strategy best NCD:", {k: round(v, 3) for k, v in scores.items()})
+    assert scores["genetic"] >= max(scores["hillclimb"], scores["random"]) - 0.05
+
+
+def test_ablation_ncd_compressors(benchmark):
+    """All three compressors must rank O3 as farther from O0 than O1 is."""
+
+    def run() -> dict:
+        workload = load_benchmark(WORKLOAD)
+        compiler = SimLLVM()
+        images = {
+            level: compiler.compile_level(workload.source, level, name=workload.name).image
+            for level in ("O0", "O1", "O3")
+        }
+        return {
+            compressor: {
+                "O1": ncd_images(images["O0"], images["O1"], compressor),
+                "O3": ncd_images(images["O0"], images["O3"], compressor),
+            }
+            for compressor in ("lzma", "zlib", "bz2")
+        }
+
+    table = run_once(benchmark, run)
+    print("\nAblation — NCD by compressor:", table)
+    for compressor, values in table.items():
+        assert 0.0 < values["O1"] <= 1.0 and 0.0 < values["O3"] <= 1.0
+
+
+def test_ablation_constraint_engine(benchmark):
+    """Without constraint repair, a noticeable share of random vectors is invalid."""
+
+    def run() -> dict:
+        compiler = SimLLVM()
+        engine = ConstraintEngine(compiler.registry)
+        rng = random.Random(17)
+        names = compiler.registry.flag_names()
+        raw_invalid = 0
+        repaired_invalid = 0
+        trials = 200
+        for _ in range(trials):
+            bits = [1 if rng.random() < 0.5 else 0 for _ in names]
+            vector = FlagVector.from_bits(compiler.registry, bits)
+            if not engine.is_valid(vector):
+                raw_invalid += 1
+            if not engine.is_valid(engine.repair(vector)):
+                repaired_invalid += 1
+        return {"raw_invalid_rate": raw_invalid / trials, "repaired_invalid_rate": repaired_invalid / trials}
+
+    rates = run_once(benchmark, run)
+    print("\nAblation — constraint engine:", rates)
+    assert rates["raw_invalid_rate"] > 0.3
+    assert rates["repaired_invalid_rate"] == 0.0

@@ -1,0 +1,19 @@
+"""Figure 10: Pearson correlation between NCD and BinHunt difference scores."""
+
+from conftest import FULL, run_once
+
+from repro.experiments import run_fig10_ncd_binhunt_correlation
+
+
+def test_fig10_correlation(benchmark):
+    out = run_once(
+        benchmark,
+        run_fig10_ncd_binhunt_correlation,
+        cases=[("llvm", "462.libquantum"), ("gcc", "429.mcf")],
+        samples=24 if FULL else 10,
+    )
+    print("\nFigure 10 — Pearson correlation between NCD and BinHunt scores:")
+    for case, correlation in out.items():
+        print(f"  {case}: r = {correlation:+.2f}")
+    # Paper shape: positive correlation for the studied programs.
+    assert sum(1 for value in out.values() if value > 0.0) >= 1

@@ -1,0 +1,25 @@
+"""Figure 1: Mirai compiler provenance trend and AV detection CDF."""
+
+from conftest import FULL, run_once
+
+from repro.experiments import run_fig1_mirai_study
+
+
+def test_fig1_mirai_study(benchmark):
+    out = run_once(
+        benchmark,
+        run_fig1_mirai_study,
+        sample_count=40 if not FULL else 200,
+        scanner_count=24 if not FULL else 50,
+    )
+    print("\nFigure 1(a) — monthly default vs non-default provenance counts:")
+    for month, counts in sorted(out["monthly_provenance"].items()):
+        print(f"  month {month:2d}: default={counts['default']:3d} non-default={counts['non-default']:3d}")
+    print(f"  non-default share over the year: {out['non_default_share']:.0%} "
+          f"(paper: ~42%), provenance accuracy {out['provenance_accuracy']:.0%}")
+    print("Figure 1(b) — mean AV detections: "
+          f"default={out['mean_detection_default']:.1f}, "
+          f"non-default={out['mean_detection_non_default']:.1f} "
+          f"of {out['scanner_count']} scanners")
+    assert 0.1 <= out["non_default_share"] <= 0.8
+    assert out["mean_detection_non_default"] <= out["mean_detection_default"]

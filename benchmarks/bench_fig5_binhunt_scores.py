@@ -1,0 +1,26 @@
+"""Figure 5: BinHunt difference scores of -Ox and BinTuner builds vs O0."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5_binhunt_scores
+
+
+def test_fig5_llvm(benchmark, tuning_config, bench_benchmarks):
+    rows = run_once(
+        benchmark, run_fig5_binhunt_scores, "llvm", benchmarks=bench_benchmarks[:2], config=tuning_config
+    )
+    print("\nFigure 5(a) — LLVM BinHunt difference scores (vs O0):")
+    for row in rows:
+        print("  ", row.as_row())
+    # Paper shape: BinTuner's output is at least as different as -O3.
+    assert all(row.bintuner_score >= row.level_scores.get("O3", 0.0) - 0.05 for row in rows)
+
+
+def test_fig5_gcc(benchmark, tuning_config, bench_benchmarks):
+    rows = run_once(
+        benchmark, run_fig5_binhunt_scores, "gcc", benchmarks=bench_benchmarks[-1:], config=tuning_config
+    )
+    print("\nFigure 5(b) — GCC BinHunt difference scores (vs O0):")
+    for row in rows:
+        print("  ", row.as_row())
+    assert all(0.0 <= row.bintuner_score <= 1.0 for row in rows)

@@ -1,0 +1,21 @@
+"""Figure 6: NCD variation over BinTuner iterations for the highlighted cases."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6_ncd_variation
+
+
+def test_fig6_ncd_variation(benchmark, tuning_config):
+    curves = run_once(
+        benchmark,
+        run_fig6_ncd_variation,
+        cases=[("llvm", "462.libquantum"), ("gcc", "429.mcf")],
+        config=tuning_config,
+    )
+    print("\nFigure 6 — best-so-far NCD over iterations:")
+    for case, data in curves.items():
+        series = data["ncd_curve"]
+        print(f"  {case}: {len(series)} iterations, final NCD {data['final']:.3f}, "
+              f"-Ox reference lines {data['reference']}")
+        assert series == sorted(series)  # best-so-far curves are monotone
+        assert data["final"] >= max(data["reference"].values()) - 0.05

@@ -1,0 +1,23 @@
+"""Figure 7: top-10 most potent optimization flags and Jaccard(O3, BinTuner)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7_flag_potency
+
+
+def test_fig7_flag_potency(benchmark, tuning_config):
+    report = run_once(
+        benchmark,
+        run_fig7_flag_potency,
+        cases=[("llvm", "462.libquantum"), ("gcc", "429.mcf")],
+        config=tuning_config,
+        max_flags=12,
+    )
+    print("\nFigure 7 — flag potency:")
+    for case, entry in report.items():
+        print(f"  {case}: Jaccard(O3, BinTuner) = {entry['jaccard_o3']}")
+        for flag, share in entry["top_flags"]:
+            print(f"    {flag:32s} {share:6.1%}")
+        print(f"    {'other flags':32s} {entry['other_share']:6.1%}")
+        assert 0.0 <= entry["jaccard_o3"] <= 1.0
+        assert entry["top_flags"]

@@ -1,0 +1,42 @@
+"""Figure 8: Precision@1 of prominent diffing tools under four settings."""
+
+from conftest import FULL, run_once
+
+from repro.experiments import run_fig8_tool_precision
+
+
+def test_fig8_llvm_openssl(benchmark, tuning_config):
+    tools = None if FULL else ["Asm2Vec", "INNEREYE", "CoP", "Multi-MH", "BinSlayer"]
+    results = run_once(
+        benchmark,
+        run_fig8_tool_precision,
+        panel="llvm:openssl",
+        tools=tools,
+        config=tuning_config,
+    )
+    print("\nFigure 8(b) — Precision@1, LLVM & OpenSSL-style workload:")
+    settings = next(iter(results.values())).keys()
+    print("  " + f"{'tool':12s}" + " ".join(f"{s:>16s}" for s in settings))
+    degraded = 0
+    for tool, by_setting in results.items():
+        print("  " + f"{tool:12s}" + " ".join(f"{by_setting[s]:16.2f}" for s in settings))
+        if by_setting.get("BinTuner", 1.0) <= by_setting.get("O1", 1.0):
+            degraded += 1
+    # Paper shape: BinTuner degrades the tools relative to O1 for most tools.
+    assert degraded >= len(results) // 2
+
+
+def test_fig8_gcc_coreutils(benchmark, tuning_config):
+    tools = None if FULL else ["VulSeeker", "CoP", "BinSlayer"]
+    results = run_once(
+        benchmark,
+        run_fig8_tool_precision,
+        panel="gcc:coreutils",
+        tools=tools,
+        settings=["O1", "O3", "BinTuner"] if not FULL else None,
+        config=tuning_config,
+    )
+    print("\nFigure 8(a) — Precision@1, GCC & Coreutils-style workload:")
+    for tool, by_setting in results.items():
+        print("  ", tool, by_setting)
+    assert all(0.0 <= v <= 1.0 for by in results.values() for v in by.values())

@@ -1,0 +1,22 @@
+"""Table 1: BinTuner search iterations and running time per compiler."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1_search_cost
+
+
+def test_table1_search_cost(benchmark, tuning_config, bench_benchmarks):
+    rows = run_once(
+        benchmark,
+        run_table1_search_cost,
+        families=("llvm", "gcc"),
+        benchmarks=bench_benchmarks[:2],
+        config=tuning_config,
+    )
+    print("\nTable 1 — search iterations and hours (min, max, median):")
+    for row in rows:
+        print("  ", row)
+    assert {row["compiler"] for row in rows} == {"llvm", "gcc"}
+    for row in rows:
+        low, high, median = row["iterations (min, max, median)"]
+        assert low <= median <= high

@@ -1,0 +1,17 @@
+"""Tables 4/5: BinHunt cross comparison among -Ox levels and BinTuner."""
+
+from conftest import run_once
+
+from repro.experiments import run_table45_cross_comparison
+
+
+def test_table45_cross_comparison(benchmark, tuning_config):
+    matrix = run_once(benchmark, run_table45_cross_comparison, "llvm", "462.libquantum", config=tuning_config)
+    print("\nTable 4 — BinHunt cross comparison (LLVM & 462.libquantum):")
+    settings = [s for s in matrix if s != "Sum"]
+    for left in settings:
+        cells = "  ".join(f"{right}:{matrix[left].get(right, 0):.2f}" for right in settings if right != left)
+        print(f"  {left:9s} {cells}  Sum={matrix[left]['Sum']:.2f}")
+    # Paper shape: the BinTuner row has the largest cross-comparison sum.
+    sums = {setting: matrix[setting]["Sum"] for setting in settings}
+    assert sums["BinTuner"] >= max(value for key, value in sums.items() if key != "BinTuner") - 0.3

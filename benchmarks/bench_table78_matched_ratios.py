@@ -1,0 +1,23 @@
+"""Tables 7/8: matched basic-block / CFG-edge / function ratios per setting."""
+
+from conftest import run_once
+
+from repro.experiments import run_table78_matched_ratios
+
+
+def test_table78_matched_ratios(benchmark, tuning_config, bench_benchmarks):
+    rows = run_once(
+        benchmark,
+        run_table78_matched_ratios,
+        "llvm",
+        benchmarks=bench_benchmarks[:2],
+        config=tuning_config,
+    )
+    print("\nTables 7/8 — matched (blocks, CFG edges, functions) vs O0:")
+    for row in rows:
+        cells = {key: value for key, value in row.items() if key.endswith("vs O0")}
+        print(f"  {row['benchmark']:16s} " + "  ".join(f"{k}={v}" for k, v in cells.items()))
+    for row in rows:
+        o1 = row.get("O1 vs O0 (block ratio)", 1.0)
+        tuned = row.get("BinTuner vs O0 (block ratio)", 0.0)
+        assert tuned <= o1 + 0.1  # tuned builds match no better than O1

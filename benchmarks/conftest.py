@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+drivers in :mod:`repro.experiments`, using reduced iteration budgets so the
+whole harness completes in minutes rather than the paper's compilation-hours.
+Set ``REPRO_BENCH_FULL=1`` to use larger budgets (closer to the paper's
+settings; expect a long run).
+"""
+
+import os
+
+import pytest
+
+from repro.tuner import BinTunerConfig, GAParameters
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def tuning_config() -> BinTunerConfig:
+    if FULL:
+        return BinTunerConfig(max_iterations=300, ga=GAParameters(population_size=20))
+    return BinTunerConfig(
+        max_iterations=20, ga=GAParameters(population_size=8, seed=13), stall_window=12
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_benchmarks():
+    """Benchmark subset exercised by the harness."""
+    if FULL:
+        from repro.workloads import BENCHMARKS
+
+        return list(BENCHMARKS)
+    return ["462.libquantum", "429.mcf", "coreutils"]
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

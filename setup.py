@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (where PEP 660 editable installs
+fail with "invalid command 'bdist_wheel'") can still do
+``pip install -e . --no-build-isolation`` via the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Unleashing the Hidden Power of Compiler
+Optimization on Binary Code Difference: An Empirical Study" (PLDI 2021).
+
+The package rebuilds the paper's whole pipeline from scratch in Python:
+
+* a mini-C compiler toolchain with a GCC-like and an LLVM-like personality,
+  ~50-60 optimization flags each, and a byte-encodable synthetic ISA
+  (:mod:`repro.minic`, :mod:`repro.ir`, :mod:`repro.opt`, :mod:`repro.backend`,
+  :mod:`repro.compilers`);
+* a binary analysis substrate: disassembler, CFG/call-graph recovery, an
+  emulator and a cost model (:mod:`repro.analysis`);
+* the diffing tools used as measurement instruments: NCD, BinHunt, and the
+  Figure-8 tool set (:mod:`repro.difftools`);
+* **BinTuner**, the paper's contribution: GA-driven iterative compilation that
+  maximizes binary code difference (:mod:`repro.tuner`);
+* workloads, IoT-malware/AV simulation and compiler-provenance recovery
+  (:mod:`repro.workloads`, :mod:`repro.malware`, :mod:`repro.provenance`);
+* experiment drivers regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.compilers import SimLLVM
+    from repro.tuner import BinTuner, BuildSpec, BinTunerConfig
+    from repro.workloads import benchmark
+
+    workload = benchmark("462.libquantum")
+    compiler = SimLLVM()
+    tuner = BinTuner(compiler, BuildSpec(workload.name, workload.source),
+                     BinTunerConfig(max_iterations=100))
+    result = tuner.run()
+    print(result.best_fitness, result.best_flags)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "minic",
+    "ir",
+    "opt",
+    "backend",
+    "compilers",
+    "analysis",
+    "difftools",
+    "tuner",
+    "workloads",
+    "malware",
+    "provenance",
+    "experiments",
+]

@@ -1,0 +1,54 @@
+"""Binary analysis substrate.
+
+Everything the diffing tools and experiments need to *consume* a linked
+:class:`repro.backend.binary.BinaryImage`:
+
+* :mod:`repro.analysis.disassembler` — linear-sweep decoding, basic-block and
+  CFG recovery, call-graph construction (the IDA-Pro stand-in);
+* :mod:`repro.analysis.emulator` — a full SIM64 machine emulator used for
+  functional-correctness checks, dynamic diffing tools (IMF-SIM style) and the
+  cycle-accurate cost model behind the paper's Table 3;
+* :mod:`repro.analysis.features` — per-function statistical features shared by
+  the scalable diffing tools (BinDiff-like, VulSeeker, Multi-MH, ...).
+"""
+
+from repro.analysis.disassembler import (
+    Disassembler,
+    RecoveredBlock,
+    RecoveredFunction,
+    RecoveredProgram,
+    disassemble,
+)
+from repro.analysis.emulator import (
+    Emulator,
+    EmulationError,
+    EmulationLimitExceeded,
+    ExecutionResult,
+    run_program,
+    run_function,
+)
+from repro.analysis.features import (
+    FunctionFeatures,
+    extract_function_features,
+    extract_program_features,
+)
+from repro.analysis.cost_model import CostModel, static_cycle_estimate
+
+__all__ = [
+    "Disassembler",
+    "RecoveredBlock",
+    "RecoveredFunction",
+    "RecoveredProgram",
+    "disassemble",
+    "Emulator",
+    "EmulationError",
+    "EmulationLimitExceeded",
+    "ExecutionResult",
+    "run_program",
+    "run_function",
+    "FunctionFeatures",
+    "extract_function_features",
+    "extract_program_features",
+    "CostModel",
+    "static_cycle_estimate",
+]

@@ -1,0 +1,78 @@
+"""Execution cost model.
+
+The paper's Table 3 compares execution speedups of ``-O3`` builds against the
+BinTuner-tuned builds.  Without the authors' hardware we rely on the
+emulator's deterministic cycle counts (every opcode carries an abstract
+latency in :mod:`repro.backend.isa`).  The cost model offers both:
+
+* a *dynamic* estimate: run the program in the emulator and report cycles;
+* a *static* estimate: sum per-instruction latencies weighted by a crude
+  loop-nesting heuristic — useful when a workload has no runnable ``main``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.disassembler import disassemble
+from repro.analysis.emulator import EmulationError, run_program
+from repro.backend.binary import BinaryImage
+from repro.backend.isa import OPCODES_BY_NAME
+
+
+def static_cycle_estimate(image: BinaryImage, loop_weight: int = 8) -> int:
+    """Weighted static cycle estimate over the recovered CFG.
+
+    Instructions in blocks that participate in (an approximation of) a loop
+    are weighted by ``loop_weight`` to mimic their dynamic importance.
+    """
+    program = disassemble(image)
+    total = 0
+    for function in program.functions.values():
+        loop_blocks = set()
+        for start, block in function.blocks.items():
+            for successor in block.successors:
+                if successor <= start:
+                    loop_blocks.add(start)
+                    loop_blocks.add(successor)
+        for start, block in function.blocks.items():
+            weight = loop_weight if start in loop_blocks else 1
+            for _, instr in block.instructions:
+                total += OPCODES_BY_NAME[instr.name].cycles * weight
+    return total
+
+
+@dataclass
+class CostReport:
+    """Cycle cost of executing a binary on its workload."""
+
+    cycles: int
+    steps: int
+    dynamic: bool
+
+
+class CostModel:
+    """Estimates the runtime cost of a linked binary."""
+
+    def __init__(self, args: Optional[Sequence[int]] = None, inputs: Optional[Sequence[int]] = None,
+                 max_steps: int = 2_000_000) -> None:
+        self.args = list(args or [])
+        self.inputs = list(inputs or [])
+        self.max_steps = max_steps
+
+    def measure(self, image: BinaryImage) -> CostReport:
+        """Dynamic cycle count; falls back to the static estimate on faults."""
+        try:
+            result = run_program(image, args=self.args, inputs=self.inputs, max_steps=self.max_steps)
+            return CostReport(cycles=result.cycles, steps=result.steps, dynamic=True)
+        except EmulationError:
+            return CostReport(cycles=static_cycle_estimate(image), steps=0, dynamic=False)
+
+    def speedup(self, baseline: BinaryImage, candidate: BinaryImage) -> float:
+        """Relative speedup of ``candidate`` over ``baseline`` (1.0 = equal)."""
+        base = self.measure(baseline).cycles
+        cand = self.measure(candidate).cycles
+        if cand == 0:
+            return 1.0
+        return base / cand

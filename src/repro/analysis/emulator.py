@@ -1,0 +1,425 @@
+"""SIM64 emulator.
+
+Interprets the machine code inside a :class:`repro.backend.binary.BinaryImage`.
+It is used in three roles:
+
+1. *functional correctness*: every BinTuner output must behave identically to
+   the ``-O0`` build on the program's test inputs (the paper runs the test
+   suites shipped with its benchmarks; we diff emulator outputs);
+2. *dynamic diffing tools*: IMF-SIM-style random-sampling function comparison
+   executes recovered functions with concrete arguments;
+3. *cost model*: dynamic cycle counts drive the Table 3 speedup comparison.
+
+The machine is word-addressed for data (8-byte words) and byte-addressed for
+code.  ``CALL`` uses a register-window convention: the return address and
+registers ``r7``..``r14`` (plus vector registers) are saved on an internal
+control stack and restored by ``RET``; ``TCALL`` transfers without pushing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.binary import BinaryImage, GLOBAL_BASE, HEAP_BASE, STACK_TOP
+from repro.backend.isa import BUILTIN_NAMES, MachInstr, decode_instruction
+from repro.ir.values import wrap64
+
+
+class EmulationError(Exception):
+    """Raised on machine faults (bad opcode, division by zero, bad jump...)."""
+
+
+class EmulationLimitExceeded(EmulationError):
+    """Raised when the step budget is exhausted (possible non-termination)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one emulation run."""
+
+    return_value: int = 0
+    output: List[str] = field(default_factory=list)
+    steps: int = 0
+    cycles: int = 0
+    exited: bool = False
+    exit_code: int = 0
+    assertion_failed: bool = False
+
+    @property
+    def output_text(self) -> str:
+        return "".join(self.output)
+
+    def observable_state(self) -> Tuple[int, str]:
+        """The externally visible behaviour used for equivalence checks."""
+        return (self.return_value, self.output_text)
+
+
+class Emulator:
+    """A single-program SIM64 interpreter."""
+
+    def __init__(self, image: BinaryImage, inputs: Optional[Sequence[int]] = None) -> None:
+        self.image = image
+        self.text = image.text
+        self.registers: List[int] = [0] * 16
+        self.vector_registers: List[List[int]] = [[0, 0, 0, 0] for _ in range(8)]
+        self.memory: Dict[int, int] = {}
+        self.inputs: List[int] = list(inputs or [])
+        self._input_cursor = 0
+        self.output: List[str] = []
+        self.heap_pointer = HEAP_BASE
+        self.rand_state = 0x2545F4914F6CDD1D
+        self.control_stack: List[Tuple[int, List[int], List[List[int]]]] = []
+        self.cycles = 0
+        self._decode_cache: Dict[int, Tuple[MachInstr, int]] = {}
+        self._load_initial_memory()
+        self.registers[15] = STACK_TOP
+
+    # -- memory -------------------------------------------------------------
+
+    def _load_initial_memory(self) -> None:
+        self.memory.update(self.image.initial_memory())
+        rodata = self.image.rodata
+        rodata_base = int(self.image.metadata.get("rodata_base", GLOBAL_BASE))
+        for index in range(len(rodata) // 8):
+            value = struct.unpack_from("<q", rodata, index * 8)[0]
+            self.memory[rodata_base + index] = value
+
+    def read_word(self, address: int) -> int:
+        return self.memory.get(address, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.memory[address] = wrap64(value)
+
+    def read_string(self, address: int, limit: int = 4096) -> str:
+        chars: List[str] = []
+        for offset in range(limit):
+            word = self.read_word(address + offset)
+            if word == 0:
+                break
+            chars.append(chr(word & 0x10FFFF))
+        return "".join(chars)
+
+    # -- execution ------------------------------------------------------------
+
+    def _decode(self, offset: int) -> Tuple[MachInstr, int]:
+        cached = self._decode_cache.get(offset)
+        if cached is None:
+            if not 0 <= offset < len(self.text):
+                raise EmulationError(f"program counter out of range: {offset}")
+            cached = decode_instruction(self.text, offset)
+            self._decode_cache[offset] = cached
+        return cached
+
+    def run(
+        self,
+        entry: Optional[int] = None,
+        args: Optional[Sequence[int]] = None,
+        max_steps: int = 2_000_000,
+    ) -> ExecutionResult:
+        """Run from ``entry`` (default: the image entry point) until return."""
+        result = ExecutionResult()
+        pc = self.image.entry_point if entry is None else entry
+        for index, value in enumerate(args or []):
+            self.registers[index + 1] = wrap64(value)
+        steps = 0
+        while True:
+            if steps >= max_steps:
+                raise EmulationLimitExceeded(
+                    f"exceeded {max_steps} steps at pc={pc} in {self.image.name}"
+                )
+            instr, next_pc = self._decode(pc)
+            steps += 1
+            self.cycles += instr.spec.cycles
+            new_pc = self._execute(instr, pc, next_pc, result)
+            if new_pc is None:
+                break
+            pc = new_pc
+        result.steps = steps
+        result.cycles = self.cycles
+        result.return_value = wrap64(self.registers[0])
+        result.output = self.output
+        return result
+
+    # -- instruction semantics ---------------------------------------------------
+
+    def _execute(
+        self, instr: MachInstr, pc: int, next_pc: int, result: ExecutionResult
+    ) -> Optional[int]:
+        name = instr.name
+        ops = instr.operands
+        regs = self.registers
+
+        if name == "nop":
+            return next_pc
+        if name == "hlt":
+            return None
+        if name == "movi" or name == "movis":
+            regs[ops[0]] = wrap64(ops[1])
+            return next_pc
+        if name == "mov":
+            regs[ops[0]] = regs[ops[1]]
+            return next_pc
+        if name in _ALU_REG:
+            regs[ops[0]] = _ALU_REG[name](regs[ops[1]], regs[ops[2]])
+            return next_pc
+        if name in _ALU_IMM:
+            regs[ops[0]] = _ALU_IMM[name](regs[ops[1]], ops[2])
+            return next_pc
+        if name in _CMP:
+            regs[ops[0]] = int(_CMP[name](regs[ops[1]], regs[ops[2]]))
+            return next_pc
+        if name == "not":
+            regs[ops[0]] = int(regs[ops[1]] == 0)
+            return next_pc
+        if name == "neg":
+            regs[ops[0]] = wrap64(-regs[ops[1]])
+            return next_pc
+        if name == "bnot":
+            regs[ops[0]] = wrap64(~regs[ops[1]])
+            return next_pc
+        if name == "ld":
+            regs[ops[0]] = self.read_word(regs[ops[1]] + ops[2])
+            return next_pc
+        if name == "st":
+            self.write_word(regs[ops[0]] + ops[1], regs[ops[2]])
+            return next_pc
+        if name == "ldx":
+            regs[ops[0]] = self.read_word(regs[ops[1]] + regs[ops[2]])
+            return next_pc
+        if name == "stx":
+            self.write_word(regs[ops[0]] + regs[ops[1]], regs[ops[2]])
+            return next_pc
+        if name == "leag":
+            regs[ops[0]] = ops[1]
+            return next_pc
+        if name == "leas":
+            regs[ops[0]] = regs[15] + ops[1]
+            return next_pc
+        if name == "ldg":
+            regs[ops[0]] = self.read_word(ops[1])
+            return next_pc
+        if name == "stg":
+            self.write_word(ops[0], regs[ops[1]])
+            return next_pc
+        if name == "jmp":
+            return next_pc + ops[0]
+        if name == "beqz":
+            return next_pc + ops[1] if regs[ops[0]] == 0 else next_pc
+        if name == "bnez":
+            return next_pc + ops[1] if regs[ops[0]] != 0 else next_pc
+        if name == "call":
+            self._push_frame(next_pc)
+            return ops[0]
+        if name == "tcall":
+            return ops[0]
+        if name == "ret":
+            if not self.control_stack:
+                return None
+            return self._pop_frame()
+        if name == "ijmp":
+            target = regs[ops[0]]
+            if not 0 <= target < len(self.text):
+                raise EmulationError(f"indirect jump out of range: {target}")
+            return target
+        if name == "syscall":
+            return None if self._syscall(ops[0], result) else next_pc
+        if name == "select":
+            regs[ops[0]] = regs[ops[2]] if regs[ops[1]] != 0 else regs[ops[3]]
+            return next_pc
+        if name == "spadd":
+            regs[15] = regs[15] + ops[0]
+            return next_pc
+        if name == "vld":
+            base = regs[ops[1]] + regs[ops[2]]
+            self.vector_registers[ops[0]] = [self.read_word(base + lane) for lane in range(4)]
+            return next_pc
+        if name == "vst":
+            base = regs[ops[1]] + regs[ops[2]]
+            for lane in range(4):
+                self.write_word(base + lane, self.vector_registers[ops[0]][lane])
+            return next_pc
+        if name in ("vadd", "vsub", "vmul"):
+            op = {"vadd": lambda a, b: a + b, "vsub": lambda a, b: a - b, "vmul": lambda a, b: a * b}[name]
+            left = self.vector_registers[ops[1]]
+            right = self.vector_registers[ops[2]]
+            self.vector_registers[ops[0]] = [wrap64(op(a, b)) for a, b in zip(left, right)]
+            return next_pc
+        raise EmulationError(f"unimplemented instruction {name}")  # pragma: no cover
+
+    def _push_frame(self, return_address: int) -> None:
+        if len(self.control_stack) > 4096:
+            raise EmulationError("call stack overflow (likely runaway recursion)")
+        saved_regs = self.registers[7:15].copy()
+        saved_vectors = [lane.copy() for lane in self.vector_registers]
+        self.control_stack.append((return_address, saved_regs, saved_vectors))
+
+    def _pop_frame(self) -> int:
+        return_address, saved_regs, saved_vectors = self.control_stack.pop()
+        self.registers[7:15] = saved_regs
+        self.vector_registers = saved_vectors
+        return return_address
+
+    # -- builtins ------------------------------------------------------------------
+
+    def _syscall(self, number: int, result: ExecutionResult) -> bool:
+        """Execute a builtin.  Returns True when the program should halt."""
+        name = BUILTIN_NAMES.get(number)
+        regs = self.registers
+        if name is None:
+            raise EmulationError(f"unknown syscall number {number}")
+        if name == "print_int":
+            self.output.append(str(wrap64(regs[1])))
+            self.output.append("\n")
+        elif name == "print_char":
+            self.output.append(chr(regs[1] & 0x10FFFF))
+        elif name == "print_str":
+            self.output.append(self.read_string(regs[1]))
+        elif name == "read_int":
+            if self._input_cursor < len(self.inputs):
+                regs[0] = wrap64(self.inputs[self._input_cursor])
+                self._input_cursor += 1
+            else:
+                regs[0] = 0
+        elif name == "abs":
+            regs[0] = wrap64(abs(regs[1]))
+        elif name == "min":
+            regs[0] = min(regs[1], regs[2])
+        elif name == "max":
+            regs[0] = max(regs[1], regs[2])
+        elif name == "strcpy":
+            destination, source = regs[1], regs[2]
+            offset = 0
+            while True:
+                word = self.read_word(source + offset)
+                self.write_word(destination + offset, word)
+                offset += 1
+                if word == 0 or offset > 65536:
+                    break
+            regs[0] = destination
+        elif name == "strcmp":
+            left, right = regs[1], regs[2]
+            offset = 0
+            value = 0
+            while offset <= 65536:
+                a = self.read_word(left + offset)
+                b = self.read_word(right + offset)
+                if a != b:
+                    value = -1 if a < b else 1
+                    break
+                if a == 0:
+                    break
+                offset += 1
+            regs[0] = value
+        elif name == "strlen":
+            address = regs[1]
+            length = 0
+            while self.read_word(address + length) != 0 and length <= 65536:
+                length += 1
+            regs[0] = length
+        elif name == "memset":
+            destination, value, count = regs[1], regs[2], regs[3]
+            for offset in range(max(count, 0)):
+                self.write_word(destination + offset, value)
+            regs[0] = destination
+        elif name == "memcpy":
+            destination, source, count = regs[1], regs[2], regs[3]
+            for offset in range(max(count, 0)):
+                self.write_word(destination + offset, self.read_word(source + offset))
+            regs[0] = destination
+        elif name == "malloc":
+            size = max(regs[1], 1)
+            regs[0] = self.heap_pointer
+            self.heap_pointer += size
+        elif name == "free":
+            regs[0] = 0
+        elif name == "rand":
+            self.rand_state = wrap64(self.rand_state * 6364136223846793005 + 1442695040888963407)
+            regs[0] = (self.rand_state >> 17) & 0x7FFFFFFF
+        elif name == "srand":
+            self.rand_state = wrap64(regs[1] or 1)
+        elif name == "exit":
+            result.exited = True
+            result.exit_code = wrap64(regs[1])
+            regs[0] = regs[1]
+            return True
+        elif name == "assert":
+            if regs[1] == 0:
+                result.assertion_failed = True
+                regs[0] = 0
+                return True
+            regs[0] = 1
+        else:  # pragma: no cover - defensive
+            raise EmulationError(f"unimplemented builtin {name}")
+        return False
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise EmulationError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return wrap64(quotient)
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EmulationError("integer modulo by zero")
+    return wrap64(a - _c_div(a, b) * b)
+
+
+_ALU_REG = {
+    "add": lambda a, b: wrap64(a + b),
+    "sub": lambda a, b: wrap64(a - b),
+    "mul": lambda a, b: wrap64(a * b),
+    "div": _c_div,
+    "mod": _c_mod,
+    "and": lambda a, b: wrap64(a & b),
+    "or": lambda a, b: wrap64(a | b),
+    "xor": lambda a, b: wrap64(a ^ b),
+    "shl": lambda a, b: wrap64(a << (b & 63)),
+    "shr": lambda a, b: wrap64(a >> (b & 63)),
+}
+_ALU_IMM = {
+    "addi": lambda a, imm: wrap64(a + imm),
+    "subi": lambda a, imm: wrap64(a - imm),
+    "muli": lambda a, imm: wrap64(a * imm),
+    "shli": lambda a, imm: wrap64(a << (imm & 63)),
+    "shri": lambda a, imm: wrap64(a >> (imm & 63)),
+    "andi": lambda a, imm: wrap64(a & imm),
+    "ori": lambda a, imm: wrap64(a | imm),
+    "xori": lambda a, imm: wrap64(a ^ imm),
+}
+_CMP = {
+    "cmpeq": lambda a, b: a == b,
+    "cmpne": lambda a, b: a != b,
+    "cmplt": lambda a, b: a < b,
+    "cmple": lambda a, b: a <= b,
+    "cmpgt": lambda a, b: a > b,
+    "cmpge": lambda a, b: a >= b,
+}
+
+
+def run_program(
+    image: BinaryImage,
+    args: Optional[Sequence[int]] = None,
+    inputs: Optional[Sequence[int]] = None,
+    max_steps: int = 2_000_000,
+) -> ExecutionResult:
+    """Run ``main`` of a linked image and return its observable behaviour."""
+    return Emulator(image, inputs=inputs).run(args=args, max_steps=max_steps)
+
+
+def run_function(
+    image: BinaryImage,
+    name: str,
+    args: Sequence[int],
+    inputs: Optional[Sequence[int]] = None,
+    max_steps: int = 200_000,
+) -> ExecutionResult:
+    """Run a single function by symbol name with concrete arguments."""
+    symbol = image.symbol(name)
+    emulator = Emulator(image, inputs=inputs)
+    return emulator.run(entry=symbol.offset, args=args, max_steps=max_steps)

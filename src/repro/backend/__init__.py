@@ -1,0 +1,53 @@
+"""Synthetic machine backend.
+
+Lowers the IR to a compact, byte-encodable RISC-style instruction set (the
+"SIM64" ISA), performs register allocation, lays out and links functions and
+global data into a :class:`repro.backend.binary.BinaryImage`, and exposes the
+encoding/decoding primitives used by the disassembler and the emulator.
+
+The ISA deliberately mirrors the x86 idioms the paper cares about: short and
+long immediate encodings (so ``-Os``-style choices change bytes), a
+``SELECT`` conditional move (branch-free code, §3.1.2), vector load/store and
+arithmetic (loop vectorization, §3.2), indirect jumps through in-image jump
+tables (switch lowering, §3.1.3), and tail-call transfers (§3.1.1).
+"""
+
+from repro.backend.isa import (
+    MachInstr,
+    OPCODES,
+    OPCODES_BY_NAME,
+    encode_instruction,
+    decode_instruction,
+    decode_stream,
+    BUILTIN_IDS,
+    BUILTIN_NAMES,
+    REG_NAMES,
+    SP,
+)
+from repro.backend.binary import Section, Symbol, BinaryImage
+from repro.backend.codegen import CodegenOptions, FunctionCode, generate_function
+from repro.backend.regalloc import allocate_registers, RegisterAssignment
+from repro.backend.linker import link_module, LinkError
+
+__all__ = [
+    "MachInstr",
+    "OPCODES",
+    "OPCODES_BY_NAME",
+    "encode_instruction",
+    "decode_instruction",
+    "decode_stream",
+    "BUILTIN_IDS",
+    "BUILTIN_NAMES",
+    "REG_NAMES",
+    "SP",
+    "Section",
+    "Symbol",
+    "BinaryImage",
+    "CodegenOptions",
+    "FunctionCode",
+    "generate_function",
+    "allocate_registers",
+    "RegisterAssignment",
+    "link_module",
+    "LinkError",
+]

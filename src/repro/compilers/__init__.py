@@ -1,0 +1,23 @@
+"""Compiler drivers.
+
+A :class:`Compiler` bundles a flag registry, a pass manager configuration and
+a codegen personality, and exposes a single ``compile(source | program,
+flags)`` entry point that produces a linked :class:`BinaryImage`.  Two
+personalities are provided — :class:`SimGCC` and :class:`SimLLVM` — mirroring
+the two compilers the paper tunes, plus :class:`ObfuscatorLLVM`, the
+compiler-level obfuscator used as a comparison point in Figure 8(b).
+"""
+
+from repro.compilers.base import Compiler, CompilationError, CompileResult
+from repro.compilers.gcc import SimGCC
+from repro.compilers.llvm import SimLLVM
+from repro.compilers.obfuscator_llvm import ObfuscatorLLVM
+
+__all__ = [
+    "Compiler",
+    "CompilationError",
+    "CompileResult",
+    "SimGCC",
+    "SimLLVM",
+    "ObfuscatorLLVM",
+]

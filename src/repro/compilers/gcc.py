@@ -1,0 +1,43 @@
+"""SimGCC: the GCC 10.2 personality."""
+
+from __future__ import annotations
+
+from repro.backend.codegen import CodegenOptions
+from repro.compilers.base import Compiler
+from repro.opt.flags import FlagRegistry, FlagVector, build_gcc_registry
+from repro.opt.pass_manager import PassManager
+
+
+class SimGCC(Compiler):
+    """Simulated GCC 10.2.
+
+    Personality traits relative to SimLLVM (so that the two compilers produce
+    visibly different code from the same source, as real compilers do):
+
+    * more eager full-loop unrolling and a larger small-function inline budget,
+    * switches prefer binary search over jump tables unless ``-fjump-tables``
+      (GCC's documented behaviour for sparse switches),
+    * slightly denser jump-table heuristics.
+    """
+
+    family = "gcc"
+    version = "10.2"
+
+    def _build_registry(self) -> FlagRegistry:
+        return build_gcc_registry()
+
+    def _build_pass_manager(self, verify_each_stage: bool) -> PassManager:
+        return PassManager(
+            self.registry,
+            inline_threshold=140,
+            small_inline_threshold=40,
+            unroll_full_threshold=10,
+            unroll_factor=2,
+            verify_each_stage=verify_each_stage,
+        )
+
+    def _personalize_codegen(self, options: CodegenOptions, flags: FlagVector) -> CodegenOptions:
+        options.jump_table_min_cases = 5
+        options.jump_table_max_holes = 2
+        options.switch_binary_search = True
+        return options

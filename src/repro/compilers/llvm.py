@@ -1,0 +1,42 @@
+"""SimLLVM: the LLVM/Clang 11.0 personality."""
+
+from __future__ import annotations
+
+from repro.backend.codegen import CodegenOptions
+from repro.compilers.base import Compiler
+from repro.opt.flags import FlagRegistry, FlagVector, build_llvm_registry
+from repro.opt.pass_manager import PassManager
+
+
+class SimLLVM(Compiler):
+    """Simulated LLVM 11.0.
+
+    Personality traits relative to SimGCC:
+
+    * jump tables kick in for smaller/denser switches (LLVM's
+      ``-switch-to-lookup`` behaviour),
+    * a smaller small-function inline budget but more partial unrolling,
+    * loop-header alignment is on whenever ``-falign-loops`` is enabled.
+    """
+
+    family = "llvm"
+    version = "11.0"
+
+    def _build_registry(self) -> FlagRegistry:
+        return build_llvm_registry()
+
+    def _build_pass_manager(self, verify_each_stage: bool) -> PassManager:
+        return PassManager(
+            self.registry,
+            inline_threshold=110,
+            small_inline_threshold=25,
+            unroll_full_threshold=8,
+            unroll_factor=4,
+            verify_each_stage=verify_each_stage,
+        )
+
+    def _personalize_codegen(self, options: CodegenOptions, flags: FlagVector) -> CodegenOptions:
+        options.jump_table_min_cases = 4
+        options.jump_table_max_holes = 4
+        options.switch_binary_search = True
+        return options

@@ -1,0 +1,137 @@
+"""Obfuscator-LLVM: the compiler-level obfuscator compared against in Fig. 8(b).
+
+The three published O-LLVM schemes are implemented as post-pipeline IR passes:
+
+* **instruction substitution** (``-mllvm -sub``): rewrites arithmetic into
+  equivalent but longer sequences (``a + b`` -> ``a - (-b)``,
+  ``a ^ b`` -> ``(a | b) - (a & b)``, ...);
+* **bogus control flow** (``-mllvm -bcf``): wraps blocks in opaque predicates
+  that always evaluate true but add fake branches and dead blocks;
+* **control-flow flattening** (``-mllvm -fla``): approximated by forcing every
+  straight-line region into a dispatch-like layout via aggressive block
+  splitting and reordering.
+
+All transformations are function-local, which is exactly why the paper finds
+BinTuner (whose inter-procedural flags hide call structure) more potent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.compilers.llvm import SimLLVM
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import BinOp, Branch, Jump, Move, UnOp
+from repro.ir.values import ConstInt, Temp
+from repro.opt.flags import FlagVector
+
+
+class ObfuscatorLLVM(SimLLVM):
+    """SimLLVM plus the three O-LLVM obfuscation schemes."""
+
+    family = "llvm"
+    version = "11.0-ollvm"
+
+    def __init__(
+        self,
+        enable_substitution: bool = True,
+        enable_bogus_cf: bool = True,
+        enable_flattening: bool = True,
+        seed: int = 7,
+        verify_each_stage: bool = False,
+    ) -> None:
+        super().__init__(verify_each_stage=verify_each_stage)
+        self.enable_substitution = enable_substitution
+        self.enable_bogus_cf = enable_bogus_cf
+        self.enable_flattening = enable_flattening
+        self.seed = seed
+
+    def _post_ir_passes(self, module: IRModule, flags: FlagVector) -> IRModule:
+        rng = random.Random(self.seed)
+        for function in module.functions.values():
+            if self.enable_substitution:
+                substitute_instructions(function, rng)
+            if self.enable_bogus_cf:
+                insert_bogus_control_flow(function, rng)
+            if self.enable_flattening:
+                flatten_layout(function, rng)
+        return module
+
+
+def substitute_instructions(function: IRFunction, rng: random.Random) -> int:
+    """Instruction substitution: replace arithmetic with equivalent sequences."""
+    rewritten = 0
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            if isinstance(instr, BinOp) and instr.op in ("add", "sub", "xor") and rng.random() < 0.6:
+                rewritten += 1
+                if instr.op == "add":
+                    # a + b  ==>  a - (-b)
+                    negated = function.new_temp("ob")
+                    new_instructions.append(UnOp(negated, "neg", instr.rhs))
+                    new_instructions.append(BinOp(instr.dest, "sub", instr.lhs, negated))
+                elif instr.op == "sub":
+                    # a - b  ==>  a + (-b)
+                    negated = function.new_temp("ob")
+                    new_instructions.append(UnOp(negated, "neg", instr.rhs))
+                    new_instructions.append(BinOp(instr.dest, "add", instr.lhs, negated))
+                else:
+                    # a ^ b  ==>  (a | b) - (a & b)
+                    either = function.new_temp("ob")
+                    both = function.new_temp("ob")
+                    new_instructions.append(BinOp(either, "or", instr.lhs, instr.rhs))
+                    new_instructions.append(BinOp(both, "and", instr.lhs, instr.rhs))
+                    new_instructions.append(BinOp(instr.dest, "sub", either, both))
+                continue
+            new_instructions.append(instr)
+        block.instructions = new_instructions
+    return rewritten
+
+
+def insert_bogus_control_flow(function: IRFunction, rng: random.Random, probability: float = 0.4) -> int:
+    """Wrap blocks in always-true opaque predicates with fake alternative blocks."""
+    inserted = 0
+    for label in list(function.blocks.keys()):
+        if label == function.entry or rng.random() > probability:
+            continue
+        block = function.blocks[label]
+        if len(block.instructions) < 2:
+            continue
+        # Split the block: the guard jumps to the real body through an opaque
+        # predicate (x*(x+1) is always even => (x*(x+1)) % 2 == 0 is true).
+        real_label = function.new_label(f"{label}.real")
+        fake_label = function.new_label(f"{label}.fake")
+        real_block = function.add_block(real_label)
+        fake_block = function.add_block(fake_label)
+        real_block.instructions = block.instructions
+        # The fake block jumps back to the real one so it stays connected.
+        fake_block.instructions = [Jump(real_label)]
+        seed_temp = function.new_temp("op")
+        plus_one = function.new_temp("op")
+        product = function.new_temp("op")
+        parity = function.new_temp("op")
+        guard = function.new_temp("op")
+        value = rng.randrange(3, 97)
+        block.instructions = [
+            Move(seed_temp, ConstInt(value)),
+            BinOp(plus_one, "add", seed_temp, ConstInt(1)),
+            BinOp(product, "mul", seed_temp, plus_one),
+            BinOp(parity, "and", product, ConstInt(1)),
+            BinOp(guard, "eq", parity, ConstInt(0)),
+            Branch(guard, real_label, fake_label),
+        ]
+        inserted += 1
+    return inserted
+
+
+def flatten_layout(function: IRFunction, rng: random.Random) -> int:
+    """Approximate control-flow flattening by shuffling the block layout."""
+    labels = function.block_order()
+    if len(labels) <= 2:
+        return 0
+    body = labels[1:]
+    rng.shuffle(body)
+    function.reorder_blocks([labels[0]] + body)
+    return 1

@@ -1,0 +1,284 @@
+"""BinHunt: semantic basic-block matching + graph matching difference score.
+
+BinHunt (Gao et al., ICICS'08) matches functionally equivalent basic blocks
+with symbolic execution and then finds the best CFG/call-graph correspondence
+with a backtracking graph isomorphism.  The difference score (paper Appendix
+A) is reproduced exactly:
+
+1. basic-block matching score: 1.0 for functionally equivalent blocks using
+   the same registers, 0.9 for equivalent blocks using different registers,
+   0.0 otherwise;
+2. CFG matching score: sum of matched block scores / min(|CFG1|, |CFG2|);
+3. call-graph matching score: sum of matched CFG scores / min(|CG1|, |CG2|);
+4. difference score: 1.0 - call-graph matching score.
+
+Full symbolic equivalence checking is replaced by a *canonical semantic form*
+of each block: the instruction sequence with literal register numbers either
+kept (for the 1.0 tier) or abstracted away (for the 0.9 tier), and all
+code-address operands dropped (they never survive relocation anyway).  This
+captures what the optimization passes actually change — instruction selection,
+scheduling and structure — which is the property the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.disassembler import (
+    RecoveredBlock,
+    RecoveredFunction,
+    RecoveredProgram,
+    disassemble,
+)
+from repro.backend.binary import BinaryImage
+
+#: Operand formats whose concrete values are code addresses / relative offsets.
+_ADDRESS_OPERANDS = {"jmp": [0], "beqz": [1], "bnez": [1], "call": [0], "tcall": [0]}
+
+#: Pure data-shuffling instructions that symbolic equivalence abstracts away:
+#: stack-slot spills/reloads, register copies, frame management and padding.
+#: Real BinHunt proves two blocks equivalent with symbolic execution, which is
+#: insensitive to exactly this kind of instruction-selection noise.
+_SHUFFLE_MNEMONICS = {"mov", "movis", "movi", "spadd", "nop", "leas"}
+
+#: Mnemonics normalized to a common semantic operation so that different
+#: instruction selections of the same computation still compare equal.
+_OP_NORMALIZATION = {
+    "addi": "add", "subi": "sub", "muli": "mul", "shli": "shl", "shri": "shr",
+    "andi": "and", "ori": "or", "xori": "xor",
+    "ldg": "ld", "stg": "st", "ldx": "ld", "stx": "st",
+}
+
+
+def canonical_block(block: RecoveredBlock, keep_registers: bool) -> Tuple:
+    """The canonical semantic form of a basic block.
+
+    The form keeps the block's *essential computation*: ALU operations,
+    comparisons, non-stack memory traffic, calls and the terminator kind —
+    dropping spills/reloads against the stack pointer, plain register copies
+    and frame adjustments, which are artifacts of instruction selection rather
+    than semantics.  With ``keep_registers`` the exact register numbers of the
+    essential operations are preserved (BinHunt's 1.0 tier); without, registers
+    are numbered by first appearance (the 0.9 tier).
+    """
+    canon: List[Tuple] = []
+    register_alias: Dict[int, int] = {}
+
+    def abstract_register(value: int) -> int:
+        if keep_registers:
+            return value
+        if value not in register_alias:
+            register_alias[value] = len(register_alias)
+        return register_alias[value]
+
+    for _, instr in block.instructions:
+        if instr.name in _SHUFFLE_MNEMONICS:
+            continue
+        if instr.name in ("ld", "st") and 15 in instr.operands[:2]:
+            # Stack-slot traffic (spills, local scalar slots) is register
+            # allocation noise, not semantics.
+            continue
+        spec = instr.spec
+        operands: List = []
+        drop = _ADDRESS_OPERANDS.get(instr.name, [])
+        for index, (fmt, operand) in enumerate(zip(spec.operands, instr.operands)):
+            if index in drop:
+                operands.append("@")
+            elif fmt in ("r", "v"):
+                operands.append(("reg", abstract_register(operand)))
+            else:
+                operands.append(("imm", operand))
+        canon.append((_OP_NORMALIZATION.get(instr.name, instr.name), tuple(operands)))
+    return tuple(canon)
+
+
+def block_match_score(left: RecoveredBlock, right: RecoveredBlock) -> float:
+    """BinHunt's per-block matching score (1.0 / 0.9 / 0.0)."""
+    if canonical_block(left, keep_registers=True) == canonical_block(right, keep_registers=True):
+        return 1.0
+    if canonical_block(left, keep_registers=False) == canonical_block(right, keep_registers=False):
+        return 0.9
+    return 0.0
+
+
+@dataclass
+class FunctionMatch:
+    """The block correspondence between two functions."""
+
+    source: str
+    target: str
+    cfg_score: float
+    block_pairs: List[Tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def matched_block_count(self) -> int:
+        return len(self.block_pairs)
+
+
+@dataclass
+class BinHuntResult:
+    """The full comparison of two binaries."""
+
+    difference_score: float
+    call_graph_score: float
+    function_matches: List[FunctionMatch] = field(default_factory=list)
+    total_blocks: Tuple[int, int] = (0, 0)
+    total_edges: Tuple[int, int] = (0, 0)
+    total_functions: Tuple[int, int] = (0, 0)
+    matched_blocks: int = 0
+    matched_edges: int = 0
+    matched_functions: int = 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "difference": self.difference_score,
+            "cg_score": self.call_graph_score,
+            "matched_blocks": self.matched_blocks,
+            "matched_edges": self.matched_edges,
+            "matched_functions": self.matched_functions,
+        }
+
+
+class BinHunt:
+    """Compute BinHunt difference scores between two binaries."""
+
+    def __init__(self, function_match_threshold: float = 0.25, max_block_candidates: int = 512) -> None:
+        self.function_match_threshold = function_match_threshold
+        self.max_block_candidates = max_block_candidates
+        self._form_cache: Dict[int, Tuple[List[Tuple[int, Tuple]], List[Tuple[int, Tuple]]]] = {}
+
+    # -- block & CFG matching ---------------------------------------------------
+
+    def _block_forms(self, function: RecoveredFunction):
+        """Cached (exact form, abstract form) lists of a function's blocks."""
+        key = id(function)
+        cached = self._form_cache.get(key)
+        if cached is None:
+            exact = [
+                (start, canonical_block(block, keep_registers=True))
+                for start, block in function.blocks.items()
+            ]
+            abstract = [
+                (start, canonical_block(block, keep_registers=False))
+                for start, block in function.blocks.items()
+            ]
+            cached = (exact, abstract)
+            self._form_cache[key] = cached
+        return cached
+
+    def match_function_pair(
+        self, source: RecoveredFunction, target: RecoveredFunction
+    ) -> FunctionMatch:
+        """Greedy block matching by canonical form (stand-in for the
+        backtracking graph-isomorphism search): exact-register matches first
+        (score 1.0), then register-abstracted matches (score 0.9)."""
+        source_exact, source_abstract = self._block_forms(source)
+        target_exact, target_abstract = self._block_forms(target)
+        available_exact: Dict[Tuple, List[int]] = {}
+        available_abstract: Dict[Tuple, List[int]] = {}
+        for start, form in target_exact:
+            available_exact.setdefault(form, []).append(start)
+        for start, form in target_abstract:
+            available_abstract.setdefault(form, []).append(start)
+        used_target: set = set()
+        pairs: List[Tuple[int, int, float]] = []
+        total = 0.0
+        abstract_by_start = dict(source_abstract)
+        # Pass 1: exact matches (same computation, same registers).
+        for start, form in source_exact:
+            candidates = [t for t in available_exact.get(form, []) if t not in used_target]
+            if candidates:
+                chosen = candidates[0]
+                used_target.add(chosen)
+                pairs.append((start, chosen, 1.0))
+                total += 1.0
+        matched_sources = {start for start, _, _ in pairs}
+        # Pass 2: register-abstracted matches.
+        for start, form in source_abstract:
+            if start in matched_sources:
+                continue
+            candidates = [t for t in available_abstract.get(form, []) if t not in used_target]
+            if candidates:
+                chosen = candidates[0]
+                used_target.add(chosen)
+                pairs.append((start, chosen, 0.9))
+                total += 0.9
+        denominator = min(len(source.blocks), len(target.blocks)) or 1
+        cfg_score = min(total / denominator, 1.0)
+        return FunctionMatch(
+            source=source.name, target=target.name, cfg_score=cfg_score, block_pairs=pairs
+        )
+
+    def _matched_edges(
+        self, source: RecoveredFunction, target: RecoveredFunction, match: FunctionMatch
+    ) -> int:
+        mapping = {s: t for s, t, _ in match.block_pairs}
+        count = 0
+        target_edges = {
+            (start, successor)
+            for start, block in target.blocks.items()
+            for successor in block.successors
+        }
+        for start, block in source.blocks.items():
+            for successor in block.successors:
+                if (mapping.get(start), mapping.get(successor)) in target_edges:
+                    count += 1
+        return count
+
+    # -- whole-binary comparison --------------------------------------------------
+
+    def compare_programs(
+        self, source: RecoveredProgram, target: RecoveredProgram
+    ) -> BinHuntResult:
+        source_functions = list(source.functions.values())
+        target_functions = list(target.functions.values())
+        # Function pairing: evaluate candidate pairs, greedily keep the best.
+        scored_pairs: List[Tuple[float, int, int, FunctionMatch]] = []
+        for i, sfunc in enumerate(source_functions):
+            for j, tfunc in enumerate(target_functions):
+                # Cheap pre-filter: wildly different sizes rarely match.
+                if max(sfunc.block_count, tfunc.block_count) > 4 * max(1, min(sfunc.block_count, tfunc.block_count)) + 8:
+                    continue
+                match = self.match_function_pair(sfunc, tfunc)
+                if match.cfg_score > 0.0:
+                    scored_pairs.append((match.cfg_score, i, j, match))
+        scored_pairs.sort(key=lambda item: (-item[0], item[1], item[2]))
+        used_source: set = set()
+        used_target: set = set()
+        matches: List[FunctionMatch] = []
+        cg_total = 0.0
+        matched_blocks = 0
+        matched_edges = 0
+        for score, i, j, match in scored_pairs:
+            if i in used_source or j in used_target:
+                continue
+            used_source.add(i)
+            used_target.add(j)
+            matches.append(match)
+            cg_total += score
+            matched_blocks += match.matched_block_count
+            matched_edges += self._matched_edges(source_functions[i], target_functions[j], match)
+        denominator = min(len(source_functions), len(target_functions)) or 1
+        cg_score = min(cg_total / denominator, 1.0)
+        matched_functions = sum(
+            1 for match in matches if match.cfg_score >= self.function_match_threshold
+        )
+        return BinHuntResult(
+            difference_score=round(1.0 - cg_score, 6),
+            call_graph_score=round(cg_score, 6),
+            function_matches=matches,
+            total_blocks=(source.total_blocks(), target.total_blocks()),
+            total_edges=(source.total_edges(), target.total_edges()),
+            total_functions=(len(source.functions), len(target.functions)),
+            matched_blocks=matched_blocks,
+            matched_edges=matched_edges,
+            matched_functions=matched_functions,
+        )
+
+    def compare(self, source: BinaryImage, target: BinaryImage) -> BinHuntResult:
+        return self.compare_programs(disassemble(source), disassemble(target))
+
+    def difference(self, source: BinaryImage, target: BinaryImage) -> float:
+        """Just the difference score (0.0 identical .. 1.0 unrelated)."""
+        return self.compare(source, target).difference_score

@@ -1,0 +1,72 @@
+"""Normalized compression distance (NCD).
+
+NCD(x, y) = (C(x·y) - min(C(x), C(y))) / max(C(x), C(y))
+
+where C is the compressed length under a lossless compressor.  The paper uses
+LZMA (§5, Experimental Setup); zlib and bz2 are provided for the compressor
+ablation bench.  NCD over the ``.text`` sections of two binaries is BinTuner's
+fitness function: cheap (no disassembly) yet correlated with BinHunt's
+difference score (Appendix C).
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.backend.binary import BinaryImage
+
+_COMPRESSORS: Dict[str, Callable[[bytes], bytes]] = {
+    "lzma": lambda data: lzma.compress(data, preset=6),
+    "zlib": lambda data: zlib.compress(data, 9),
+    "bz2": lambda data: bz2.compress(data, 9),
+}
+
+
+def compressed_size(data: bytes, compressor: str = "lzma") -> int:
+    """Length in bytes of ``data`` under the chosen compressor."""
+    try:
+        compress = _COMPRESSORS[compressor]
+    except KeyError as exc:
+        raise ValueError(f"unknown compressor {compressor!r}") from exc
+    return len(compress(data))
+
+
+def ncd(x: bytes, y: bytes, compressor: str = "lzma") -> float:
+    """NCD between two byte strings (0.0 identical .. ~1.0 unrelated)."""
+    if not x and not y:
+        return 0.0
+    c_x = compressed_size(x, compressor)
+    c_y = compressed_size(y, compressor)
+    c_xy = compressed_size(x + y, compressor)
+    denominator = max(c_x, c_y)
+    if denominator == 0:
+        return 0.0
+    value = (c_xy - min(c_x, c_y)) / denominator
+    return max(0.0, min(value, 1.0))
+
+
+def ncd_images(left: BinaryImage, right: BinaryImage, compressor: str = "lzma") -> float:
+    """NCD over the code (.text) sections of two binaries."""
+    return ncd(left.text, right.text, compressor)
+
+
+@dataclass
+class NCDFitness:
+    """BinTuner fitness function: distance of a candidate from the baseline.
+
+    The baseline is normally the ``-O0`` build (the paper measures every
+    candidate against O0, §5.1).  Higher is fitter.
+    """
+
+    baseline: BinaryImage
+    compressor: str = "lzma"
+
+    def __call__(self, candidate: BinaryImage) -> float:
+        return ncd_images(self.baseline, candidate, self.compressor)
+
+    def name(self) -> str:
+        return f"ncd-{self.compressor}"

@@ -1,0 +1,45 @@
+"""Figure 7: per-flag potency of BinTuner's best sequences."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.scores import make_compiler, tune_benchmark
+from repro.tuner import BinTunerConfig, flag_potency
+from repro.workloads import benchmark
+
+
+def run_fig7_flag_potency(
+    cases: Sequence[Tuple[str, str]] = (
+        ("llvm", "462.libquantum"),
+        ("gcc", "coreutils"),
+    ),
+    top: int = 10,
+    config: Optional[BinTunerConfig] = None,
+    max_flags: Optional[int] = 24,
+) -> Dict[str, Dict[str, object]]:
+    """Top-N most potent flags of the tuned sequence plus Jaccard(O3, BinTuner).
+
+    ``max_flags`` bounds the number of leave-one-out recompilations per case
+    (the full measurement compiles once per enabled flag).
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for family, name in cases:
+        compiler = make_compiler(family)
+        workload = benchmark(name)
+        tuned = tune_benchmark(family, name, config)
+        potency = flag_potency(
+            compiler,
+            workload.source,
+            tuned.best_flags,
+            program_name=name,
+            max_flags=max_flags,
+        )
+        out[f"{family}:{name}"] = {
+            "top_flags": [(flag, round(share, 4)) for flag, share in potency.top(top)],
+            "other_share": round(potency.other_share(top), 4),
+            "jaccard_o3": round(potency.jaccard_with_o3, 3),
+            "base_binhunt_score": round(potency.base_score, 3),
+            "flag_count": len(tuned.best_flags),
+        }
+    return out

@@ -1,0 +1,71 @@
+"""Figure 8: Precision@1 of prominent diffing tools under different settings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.disassembler import disassemble
+from repro.compilers import ObfuscatorLLVM
+from repro.difftools import ALL_TOOLS, make_tool, precision_at_1
+from repro.experiments.scores import make_compiler, tune_benchmark
+from repro.tuner import BinTunerConfig
+from repro.workloads import benchmark
+
+#: Tool/setting layout of the two Figure 8 panels.
+FIG8_PANELS = {
+    "gcc:coreutils": {
+        "tools": ["Asm2Vec", "VulSeeker", "IMF-SIM", "CoP", "Multi-MH", "BinSlayer"],
+        "settings": ["O1", "O3", "Os", "BinTuner"],
+    },
+    "llvm:openssl": {
+        "tools": ["Asm2Vec", "INNEREYE", "VulSeeker", "IMF-SIM", "CoP", "Multi-MH", "BinSlayer"],
+        "settings": ["O1", "O3", "Obfuscator-LLVM", "BinTuner"],
+    },
+}
+
+
+def run_fig8_tool_precision(
+    panel: str = "llvm:openssl",
+    tools: Optional[Sequence[str]] = None,
+    settings: Optional[Sequence[str]] = None,
+    config: Optional[BinTunerConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Precision@1 per tool per setting for one Figure 8 panel.
+
+    The O0 build is the query side (functions are "trained"/taken from O0 and
+    searched in the other build), mirroring the paper's Asm2Vec-style setup.
+    """
+    if panel not in FIG8_PANELS:
+        raise KeyError(f"unknown panel {panel!r} (expected one of {sorted(FIG8_PANELS)})")
+    family, bench_name = panel.split(":")
+    layout = FIG8_PANELS[panel]
+    tool_names = list(tools) if tools is not None else layout["tools"]
+    setting_names = list(settings) if settings is not None else layout["settings"]
+
+    compiler = make_compiler(family)
+    workload = benchmark(bench_name)
+    baseline = disassemble(compiler.compile_level(workload.source, "O0", name=bench_name).image)
+
+    target_images = {}
+    for setting in setting_names:
+        if setting == "BinTuner":
+            target_images[setting] = tune_benchmark(family, bench_name, config).best_image
+        elif setting == "Obfuscator-LLVM":
+            obfuscator = ObfuscatorLLVM()
+            target_images[setting] = obfuscator.compile(
+                workload.source, obfuscator.preset("O2"), name=bench_name
+            ).image
+        else:
+            target_images[setting] = compiler.compile_level(
+                workload.source, setting, name=bench_name
+            ).image
+    targets = {setting: disassemble(image) for setting, image in target_images.items()}
+
+    results: Dict[str, Dict[str, float]] = {}
+    for tool_name in tool_names:
+        tool = make_tool(tool_name)
+        results[tool_name] = {}
+        for setting, target in targets.items():
+            match = tool.compare_programs(baseline, target)
+            results[tool_name][setting] = round(precision_at_1(match), 3)
+    return results

@@ -1,0 +1,102 @@
+"""Typed three-address intermediate representation.
+
+The IR sits between the mini-C frontend (:mod:`repro.minic`) and the synthetic
+machine backend (:mod:`repro.backend`).  All optimization passes in
+:mod:`repro.opt` transform this IR.  The representation is a conventional
+basic-block CFG of three-address instructions over single-assignment
+temporaries plus named variable slots (locals, parameters, globals, arrays).
+"""
+
+from repro.ir.values import Temp, ConstInt, SymbolRef, Value, format_value
+from repro.ir.instructions import (
+    Instruction,
+    BinOp,
+    UnOp,
+    Move,
+    LoadVar,
+    StoreVar,
+    LoadIndex,
+    StoreIndex,
+    AddrOf,
+    Call,
+    Ret,
+    Branch,
+    Jump,
+    Switch,
+    Select,
+    VecLoad,
+    VecStore,
+    VecBinOp,
+    Nop,
+    TERMINATORS,
+)
+from repro.ir.function import BasicBlock, IRFunction, IRModule, GlobalData
+from repro.ir.builder import IRBuilder, build_module
+from repro.ir.cfg import (
+    successors,
+    predecessors_map,
+    reachable_blocks,
+    compute_dominators,
+    immediate_dominators,
+    natural_loops,
+    Loop,
+    reverse_postorder,
+)
+from repro.ir.dataflow import (
+    temp_definitions,
+    temp_uses,
+    block_liveness,
+    used_temps,
+    defined_temps,
+)
+from repro.ir.verifier import verify_function, verify_module, IRVerificationError
+
+__all__ = [
+    "Temp",
+    "ConstInt",
+    "SymbolRef",
+    "Value",
+    "format_value",
+    "Instruction",
+    "BinOp",
+    "UnOp",
+    "Move",
+    "LoadVar",
+    "StoreVar",
+    "LoadIndex",
+    "StoreIndex",
+    "AddrOf",
+    "Call",
+    "Ret",
+    "Branch",
+    "Jump",
+    "Switch",
+    "Select",
+    "VecLoad",
+    "VecStore",
+    "VecBinOp",
+    "Nop",
+    "TERMINATORS",
+    "BasicBlock",
+    "IRFunction",
+    "IRModule",
+    "GlobalData",
+    "IRBuilder",
+    "build_module",
+    "successors",
+    "predecessors_map",
+    "reachable_blocks",
+    "compute_dominators",
+    "immediate_dominators",
+    "natural_loops",
+    "Loop",
+    "reverse_postorder",
+    "temp_definitions",
+    "temp_uses",
+    "block_liveness",
+    "used_temps",
+    "defined_temps",
+    "verify_function",
+    "verify_module",
+    "IRVerificationError",
+]

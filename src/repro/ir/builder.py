@@ -1,0 +1,604 @@
+"""Lowering from the mini-C AST to the IR.
+
+The builder performs the classic syntax-directed translation: expressions
+become single-assignment temporaries, control flow becomes a basic-block CFG,
+short-circuit boolean operators and the ternary operator become diamonds that
+communicate through compiler-generated scalar slots (so that later passes such
+as if-conversion can rediscover and flatten them), and ``switch`` statements
+are kept as first-class :class:`repro.ir.instructions.Switch` terminators so
+that the flag-controlled switch-lowering pass can choose between a jump table
+and a binary-search compare chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minic import ast_nodes as ast
+from repro.minic.semantic import ProgramInfo, analyze
+from repro.ir.function import BasicBlock, GlobalData, IRFunction, IRModule
+from repro.ir.instructions import (
+    AddrOf,
+    BinOp,
+    Branch,
+    Call,
+    Jump,
+    LoadIndex,
+    LoadVar,
+    Move,
+    Ret,
+    StoreIndex,
+    StoreVar,
+    Switch,
+    UnOp,
+)
+from repro.ir.values import ConstInt, SymbolRef, Temp, Value
+
+_BINOP_NAMES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+_COMPOUND_OPS = {
+    "+=": "add",
+    "-=": "sub",
+    "*=": "mul",
+    "/=": "div",
+    "%=": "mod",
+    "&=": "and",
+    "|=": "or",
+    "^=": "xor",
+    "<<=": "shl",
+    ">>=": "shr",
+}
+
+
+class LoweringError(Exception):
+    """Raised when the AST cannot be lowered to IR."""
+
+
+class IRBuilder:
+    """Builds an :class:`IRModule` from a semantically-checked program."""
+
+    def __init__(self, info: ProgramInfo) -> None:
+        self.info = info
+        self.module = IRModule(name=info.program.name)
+        self._string_counter = 0
+        # Per-function state
+        self._function: Optional[IRFunction] = None
+        self._current: Optional[BasicBlock] = None
+        self._scopes: List[Dict[str, str]] = []
+        self._rename_counter = 0
+        self._break_targets: List[str] = []
+        self._continue_targets: List[str] = []
+        self._local_types: Dict[str, ast.Type] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def build(self) -> IRModule:
+        for var in self.info.program.globals:
+            self._lower_global(var)
+        for function in self.info.program.functions:
+            self._lower_function(function)
+        return self.module
+
+    # -- globals -----------------------------------------------------------
+
+    def _lower_global(self, var: ast.GlobalVar) -> None:
+        size = var.type.array_size if var.type.is_array else 1
+        if size is None or size < 0:
+            size = 1
+        init: List[int] = []
+        if var.init is not None:
+            value = _static_eval(var.init)
+            init = [value]
+        elif var.init_list is not None:
+            init = [_static_eval(expr) for expr in var.init_list]
+        self.module.add_global(
+            GlobalData(
+                name=var.name,
+                size=max(size, len(init), 1),
+                init=init,
+                is_const=var.is_const,
+            )
+        )
+
+    def _intern_string(self, text: str) -> str:
+        """Create (or reuse) a global holding the characters of a string."""
+        for name, data in self.module.globals.items():
+            if data.is_string and data.init[:-1] == [ord(ch) for ch in text]:
+                return name
+        self._string_counter += 1
+        name = f"__str{self._string_counter}"
+        self.module.add_global(
+            GlobalData(
+                name=name,
+                size=len(text) + 1,
+                init=[ord(ch) for ch in text] + [0],
+                is_const=True,
+                is_string=True,
+            )
+        )
+        return name
+
+    # -- functions ----------------------------------------------------------
+
+    def _lower_function(self, function: ast.FunctionDef) -> None:
+        ir_function = IRFunction(
+            name=function.name,
+            params=[param.name for param in function.params],
+            returns_value=not function.return_type.is_void,
+            is_static=function.is_static,
+        )
+        ir_function.add_block(ir_function.entry)
+        self._function = ir_function
+        self._current = ir_function.entry_block()
+        self._scopes = [{}]
+        self._rename_counter = 0
+        self._break_targets = []
+        self._continue_targets = []
+        self._local_types = {}
+        for param in function.params:
+            self._scopes[0][param.name] = param.name
+            self._local_types[param.name] = param.type
+            ir_function.declare_local(param.name, 1, False)
+        self._lower_block(function.body, new_scope=True)
+        ir_function.ensure_terminated()
+        self.module.add_function(ir_function)
+        self._function = None
+        self._current = None
+
+    # -- scope and emit helpers ---------------------------------------------
+
+    def _emit(self, instruction) -> None:
+        assert self._current is not None
+        if self._current.is_terminated():
+            # Unreachable code after return/break: drop it silently (matches
+            # what a real compiler's "unreachable code" cleanup would do).
+            return
+        self._current.append(instruction)
+
+    def _start_block(self, label: str) -> None:
+        assert self._function is not None
+        if label in self._function.blocks:
+            self._current = self._function.blocks[label]
+        else:
+            self._current = self._function.add_block(label)
+
+    def _terminate_with_jump(self, label: str) -> None:
+        assert self._current is not None
+        if not self._current.is_terminated():
+            self._current.append(Jump(label))
+
+    def _new_temp(self) -> Temp:
+        assert self._function is not None
+        return self._function.new_temp()
+
+    def _new_label(self, hint: str) -> str:
+        assert self._function is not None
+        return self._function.new_label(hint)
+
+    def _push_scope(self) -> None:
+        self._scopes.append({})
+
+    def _pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def _declare_local(self, name: str, var_type: ast.Type) -> str:
+        assert self._function is not None
+        slot = name
+        if self._is_declared(name):
+            self._rename_counter += 1
+            slot = f"{name}.{self._rename_counter}"
+        self._scopes[-1][name] = slot
+        self._local_types[slot] = var_type
+        size = var_type.array_size if var_type.is_array else 1
+        if size is None or size < 0:
+            size = 1
+        self._function.declare_local(slot, size, var_type.is_array and size > 1)
+        return slot
+
+    def _is_declared(self, name: str) -> bool:
+        if any(name in scope for scope in self._scopes):
+            return True
+        return name in (self._function.locals if self._function else {})
+
+    def _resolve(self, name: str) -> Tuple[str, bool, ast.Type]:
+        """Resolve a source name -> (slot/symbol name, is_global, type)."""
+        for scope in reversed(self._scopes):
+            if name in scope:
+                slot = scope[name]
+                return slot, False, self._local_types[slot]
+        global_info = self.info.globals.get(name)
+        if global_info is None:
+            raise LoweringError(f"unresolved variable {name!r}")
+        return name, True, global_info.type
+
+    def _new_join_slot(self, hint: str) -> str:
+        """A compiler-generated scalar slot used to join diamond values."""
+        assert self._function is not None
+        self._rename_counter += 1
+        slot = f"__{hint}.{self._rename_counter}"
+        self._local_types[slot] = ast.INT
+        self._function.declare_local(slot, 1, False)
+        return slot
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._push_scope()
+        for stmt in block.statements:
+            self._lower_statement(stmt)
+        if new_scope:
+            self._pop_scope()
+
+    def _lower_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expression(stmt.expr, want_value=False)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._lower_switch(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._break_targets:
+                raise LoweringError("break outside loop/switch")
+            self._terminate_with_jump(self._break_targets[-1])
+        elif isinstance(stmt, ast.Continue):
+            if not self._continue_targets:
+                raise LoweringError("continue outside loop")
+            self._terminate_with_jump(self._continue_targets[-1])
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._lower_expression(stmt.value)
+            self._emit(Ret(value))
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+
+    def _lower_var_decl(self, stmt: ast.VarDecl) -> None:
+        slot = self._declare_local(stmt.name, stmt.type)
+        if stmt.init is not None:
+            value = self._lower_expression(stmt.init)
+            self._emit(StoreVar(slot, value))
+        elif stmt.init_list is not None:
+            base = self._new_temp()
+            self._emit(AddrOf(base, slot))
+            for index, expr in enumerate(stmt.init_list):
+                value = self._lower_expression(expr)
+                self._emit(StoreIndex(base, ConstInt(index), value))
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        then_label = self._new_label("if.then")
+        end_label = self._new_label("if.end")
+        else_label = self._new_label("if.else") if stmt.otherwise is not None else end_label
+        cond = self._lower_expression(stmt.cond)
+        self._emit(Branch(cond, then_label, else_label))
+        self._start_block(then_label)
+        self._lower_statement(stmt.then)
+        self._terminate_with_jump(end_label)
+        if stmt.otherwise is not None:
+            self._start_block(else_label)
+            self._lower_statement(stmt.otherwise)
+            self._terminate_with_jump(end_label)
+        self._start_block(end_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        cond_label = self._new_label("while.cond")
+        body_label = self._new_label("while.body")
+        end_label = self._new_label("while.end")
+        self._terminate_with_jump(cond_label)
+        self._start_block(cond_label)
+        cond = self._lower_expression(stmt.cond)
+        self._emit(Branch(cond, body_label, end_label))
+        self._start_block(body_label)
+        self._break_targets.append(end_label)
+        self._continue_targets.append(cond_label)
+        self._lower_statement(stmt.body)
+        self._continue_targets.pop()
+        self._break_targets.pop()
+        self._terminate_with_jump(cond_label)
+        self._start_block(end_label)
+
+    def _lower_do_while(self, stmt: ast.DoWhile) -> None:
+        body_label = self._new_label("do.body")
+        cond_label = self._new_label("do.cond")
+        end_label = self._new_label("do.end")
+        self._terminate_with_jump(body_label)
+        self._start_block(body_label)
+        self._break_targets.append(end_label)
+        self._continue_targets.append(cond_label)
+        self._lower_statement(stmt.body)
+        self._continue_targets.pop()
+        self._break_targets.pop()
+        self._terminate_with_jump(cond_label)
+        self._start_block(cond_label)
+        cond = self._lower_expression(stmt.cond)
+        self._emit(Branch(cond, body_label, end_label))
+        self._start_block(end_label)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self._push_scope()
+        if stmt.init is not None:
+            self._lower_statement(stmt.init)
+        cond_label = self._new_label("for.cond")
+        body_label = self._new_label("for.body")
+        step_label = self._new_label("for.step")
+        end_label = self._new_label("for.end")
+        self._terminate_with_jump(cond_label)
+        self._start_block(cond_label)
+        if stmt.cond is not None:
+            cond = self._lower_expression(stmt.cond)
+            self._emit(Branch(cond, body_label, end_label))
+        else:
+            self._emit(Jump(body_label))
+        self._start_block(body_label)
+        self._break_targets.append(end_label)
+        self._continue_targets.append(step_label)
+        self._lower_statement(stmt.body)
+        self._continue_targets.pop()
+        self._break_targets.pop()
+        self._terminate_with_jump(step_label)
+        self._start_block(step_label)
+        if stmt.step is not None:
+            self._lower_expression(stmt.step, want_value=False)
+        self._terminate_with_jump(cond_label)
+        self._start_block(end_label)
+        self._pop_scope()
+
+    def _lower_switch(self, stmt: ast.Switch) -> None:
+        value = self._lower_expression(stmt.expr)
+        end_label = self._new_label("switch.end")
+        case_labels: List[Tuple[Optional[int], str]] = []
+        for case in stmt.cases:
+            hint = "switch.default" if case.value is None else "switch.case"
+            case_labels.append((case.value, self._new_label(hint)))
+        default_label = end_label
+        for case_value, label in case_labels:
+            if case_value is None:
+                default_label = label
+        switch_cases = [
+            (case_value, label)
+            for case_value, label in case_labels
+            if case_value is not None
+        ]
+        self._emit(Switch(value, switch_cases, default_label))
+        self._break_targets.append(end_label)
+        for (case, (case_value, label)) in zip(stmt.cases, case_labels):
+            self._start_block(label)
+            self._push_scope()
+            for inner in case.body:
+                self._lower_statement(inner)
+            self._pop_scope()
+            # C fallthrough: jump to the next case label (or the end).
+            index = case_labels.index((case_value, label))
+            next_label = (
+                case_labels[index + 1][1] if index + 1 < len(case_labels) else end_label
+            )
+            self._terminate_with_jump(next_label)
+        self._break_targets.pop()
+        self._start_block(end_label)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _lower_expression(self, expr: ast.Expr, want_value: bool = True) -> Value:
+        if isinstance(expr, ast.IntLiteral):
+            return ConstInt(expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            name = self._intern_string(expr.value)
+            temp = self._new_temp()
+            self._emit(Move(temp, SymbolRef(name)))
+            return temp
+        if isinstance(expr, ast.VarRef):
+            return self._lower_var_ref(expr)
+        if isinstance(expr, ast.ArrayRef):
+            base = self._array_base(expr.name)
+            index = self._lower_expression(expr.index)
+            temp = self._new_temp()
+            self._emit(LoadIndex(temp, base, index))
+            return temp
+        if isinstance(expr, ast.UnaryOp):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.TernaryOp):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.Assignment):
+            return self._lower_assignment(expr, want_value)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, want_value)
+        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_var_ref(self, expr: ast.VarRef) -> Value:
+        slot, is_global, var_type = self._resolve(expr.name)
+        temp = self._new_temp()
+        if var_type.is_array and (var_type.array_size or 0) > 0:
+            # A named array used as a value decays to its address.
+            self._emit(AddrOf(temp, slot))
+        else:
+            self._emit(LoadVar(temp, slot))
+        return temp
+
+    def _array_base(self, name: str) -> Value:
+        slot, is_global, var_type = self._resolve(name)
+        if var_type.is_array and (var_type.array_size or 0) > 0:
+            temp = self._new_temp()
+            self._emit(AddrOf(temp, slot))
+            return temp
+        # Pointer-like parameter or scalar holding an address.
+        temp = self._new_temp()
+        self._emit(LoadVar(temp, slot))
+        return temp
+
+    def _lower_unary(self, expr: ast.UnaryOp) -> Value:
+        operand = self._lower_expression(expr.operand)
+        temp = self._new_temp()
+        if expr.op == "-":
+            self._emit(UnOp(temp, "neg", operand))
+        elif expr.op == "~":
+            self._emit(UnOp(temp, "bnot", operand))
+        elif expr.op == "!":
+            self._emit(BinOp(temp, "eq", operand, ConstInt(0)))
+        else:  # pragma: no cover - the parser restricts unary ops
+            raise LoweringError(f"unsupported unary operator {expr.op!r}")
+        return temp
+
+    def _lower_binary(self, expr: ast.BinaryOp) -> Value:
+        if expr.op == "&&":
+            return self._lower_short_circuit(expr, is_and=True)
+        if expr.op == "||":
+            return self._lower_short_circuit(expr, is_and=False)
+        if expr.op == ",":
+            self._lower_expression(expr.left, want_value=False)
+            return self._lower_expression(expr.right)
+        left = self._lower_expression(expr.left)
+        right = self._lower_expression(expr.right)
+        op = _BINOP_NAMES.get(expr.op)
+        if op is None:
+            raise LoweringError(f"unsupported binary operator {expr.op!r}")
+        temp = self._new_temp()
+        self._emit(BinOp(temp, op, left, right))
+        return temp
+
+    def _lower_short_circuit(self, expr: ast.BinaryOp, is_and: bool) -> Value:
+        slot = self._new_join_slot("sc")
+        rhs_label = self._new_label("sc.rhs")
+        end_label = self._new_label("sc.end")
+        left = self._lower_expression(expr.left)
+        left_bool = self._new_temp()
+        self._emit(BinOp(left_bool, "ne", left, ConstInt(0)))
+        self._emit(StoreVar(slot, left_bool))
+        if is_and:
+            self._emit(Branch(left_bool, rhs_label, end_label))
+        else:
+            self._emit(Branch(left_bool, end_label, rhs_label))
+        self._start_block(rhs_label)
+        right = self._lower_expression(expr.right)
+        right_bool = self._new_temp()
+        self._emit(BinOp(right_bool, "ne", right, ConstInt(0)))
+        self._emit(StoreVar(slot, right_bool))
+        self._terminate_with_jump(end_label)
+        self._start_block(end_label)
+        result = self._new_temp()
+        self._emit(LoadVar(result, slot))
+        return result
+
+    def _lower_ternary(self, expr: ast.TernaryOp) -> Value:
+        slot = self._new_join_slot("sel")
+        then_label = self._new_label("sel.then")
+        else_label = self._new_label("sel.else")
+        end_label = self._new_label("sel.end")
+        cond = self._lower_expression(expr.cond)
+        self._emit(Branch(cond, then_label, else_label))
+        self._start_block(then_label)
+        then_value = self._lower_expression(expr.then)
+        self._emit(StoreVar(slot, then_value))
+        self._terminate_with_jump(end_label)
+        self._start_block(else_label)
+        else_value = self._lower_expression(expr.otherwise)
+        self._emit(StoreVar(slot, else_value))
+        self._terminate_with_jump(end_label)
+        self._start_block(end_label)
+        result = self._new_temp()
+        self._emit(LoadVar(result, slot))
+        return result
+
+    def _lower_assignment(self, expr: ast.Assignment, want_value: bool) -> Value:
+        if expr.op == "=":
+            value = self._lower_expression(expr.value)
+        else:
+            op = _COMPOUND_OPS.get(expr.op)
+            if op is None:
+                raise LoweringError(f"unsupported assignment operator {expr.op!r}")
+            current = self._lower_expression(expr.target)
+            rhs = self._lower_expression(expr.value)
+            value_temp = self._new_temp()
+            self._emit(BinOp(value_temp, op, current, rhs))
+            value = value_temp
+        target = expr.target
+        if isinstance(target, ast.VarRef):
+            slot, _, var_type = self._resolve(target.name)
+            if var_type.is_array and (var_type.array_size or 0) > 0:
+                raise LoweringError(f"cannot assign to array {target.name!r}")
+            self._emit(StoreVar(slot, value))
+        elif isinstance(target, ast.ArrayRef):
+            base = self._array_base(target.name)
+            index = self._lower_expression(target.index)
+            self._emit(StoreIndex(base, index, value))
+        else:  # pragma: no cover - checked by semantic analysis
+            raise LoweringError("invalid assignment target")
+        return value
+
+    def _lower_call(self, expr: ast.Call, want_value: bool) -> Value:
+        args = [self._lower_expression(arg) for arg in expr.args]
+        dest = self._new_temp() if want_value else None
+        info = self.info.functions.get(expr.name)
+        if want_value and info is not None and info.return_type.is_void:
+            dest = None
+        self._emit(Call(dest, expr.name, args))
+        if dest is None:
+            return ConstInt(0)
+        return dest
+
+
+def _static_eval(expr: ast.Expr) -> int:
+    """Evaluate a global initializer (must be a constant expression)."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp):
+        value = _static_eval(expr.operand)
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "!":
+            return int(not value)
+    if isinstance(expr, ast.BinaryOp):
+        left = _static_eval(expr.left)
+        right = _static_eval(expr.right)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: int(a / b) if b else 0,
+            "%": lambda a, b: a - int(a / b) * b if b else 0,
+            "<<": lambda a, b: a << (b & 63),
+            ">>": lambda a, b: a >> (b & 63),
+            "&": lambda a, b: a & b,
+            "|": lambda a, b: a | b,
+            "^": lambda a, b: a ^ b,
+        }
+        if expr.op in ops:
+            return ops[expr.op](left, right)
+    raise LoweringError("global initializer must be a constant expression")
+
+
+def build_module(program: ast.Program, info: Optional[ProgramInfo] = None) -> IRModule:
+    """Convenience wrapper: analyze (if needed) and lower ``program``."""
+    if info is None:
+        info = analyze(program)
+    return IRBuilder(info).build()

@@ -1,0 +1,178 @@
+"""Control-flow-graph utilities over :class:`repro.ir.function.IRFunction`.
+
+Provides successor/predecessor maps, reachability, reverse postorder,
+dominator computation (iterative dataflow), and natural loop detection.  These
+underpin the loop optimizations, if-conversion, block merging and the CFG
+features consumed by the binary diffing tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ir.function import IRFunction
+
+
+def successors(function: IRFunction, label: str) -> List[str]:
+    """Successor labels of a block, in terminator order."""
+    block = function.blocks[label]
+    terminator = block.terminator
+    if terminator is None:
+        return []
+    seen: Set[str] = set()
+    out: List[str] = []
+    for target in terminator.targets():
+        if target not in seen:
+            seen.add(target)
+            out.append(target)
+    return out
+
+
+def successors_map(function: IRFunction) -> Dict[str, List[str]]:
+    return {label: successors(function, label) for label in function.blocks}
+
+
+def predecessors_map(function: IRFunction) -> Dict[str, List[str]]:
+    preds: Dict[str, List[str]] = {label: [] for label in function.blocks}
+    for label in function.blocks:
+        for succ in successors(function, label):
+            if succ in preds:
+                preds[succ].append(label)
+    return preds
+
+
+def reachable_blocks(function: IRFunction) -> Set[str]:
+    """Labels reachable from the entry block."""
+    seen: Set[str] = set()
+    stack = [function.entry]
+    while stack:
+        label = stack.pop()
+        if label in seen or label not in function.blocks:
+            continue
+        seen.add(label)
+        stack.extend(successors(function, label))
+    return seen
+
+
+def reverse_postorder(function: IRFunction) -> List[str]:
+    """Reverse postorder over reachable blocks (entry first)."""
+    visited: Set[str] = set()
+    order: List[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(successors(function, label)))]
+        visited.add(label)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ in visited or succ not in function.blocks:
+                    continue
+                visited.add(succ)
+                stack.append((succ, iter(successors(function, succ))))
+                advanced = True
+                break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if function.entry in function.blocks:
+        visit(function.entry)
+    order.reverse()
+    return order
+
+
+def compute_dominators(function: IRFunction) -> Dict[str, Set[str]]:
+    """Map each reachable block to the set of blocks that dominate it."""
+    reachable = reachable_blocks(function)
+    order = [label for label in reverse_postorder(function) if label in reachable]
+    preds = predecessors_map(function)
+    dom: Dict[str, Set[str]] = {label: set(reachable) for label in reachable}
+    if function.entry in dom:
+        dom[function.entry] = {function.entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == function.entry:
+                continue
+            pred_doms = [dom[p] for p in preds[label] if p in reachable]
+            if pred_doms:
+                new_set = set.intersection(*pred_doms) | {label}
+            else:
+                new_set = {label}
+            if new_set != dom[label]:
+                dom[label] = new_set
+                changed = True
+    return dom
+
+
+def immediate_dominators(function: IRFunction) -> Dict[str, str]:
+    """Map each reachable non-entry block to its immediate dominator."""
+    dom = compute_dominators(function)
+    idom: Dict[str, str] = {}
+    for label, dominators in dom.items():
+        if label == function.entry:
+            continue
+        strict = dominators - {label}
+        # The immediate dominator is the strict dominator dominated by all
+        # other strict dominators.
+        for candidate in strict:
+            if all(candidate in dom[other] or other == candidate for other in strict):
+                idom[label] = candidate
+                break
+    return idom
+
+
+@dataclass
+class Loop:
+    """A natural loop: header plus the set of blocks in the loop body."""
+
+    header: str
+    blocks: Set[str] = field(default_factory=set)
+    back_edges: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.blocks)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.blocks
+
+
+def natural_loops(function: IRFunction) -> List[Loop]:
+    """Detect natural loops via back edges (edge to a dominator)."""
+    dom = compute_dominators(function)
+    preds = predecessors_map(function)
+    loops: Dict[str, Loop] = {}
+    for label in dom:
+        for succ in successors(function, label):
+            if succ in dom.get(label, set()):
+                # label -> succ is a back edge; succ is the loop header.
+                loop = loops.setdefault(succ, Loop(header=succ, blocks={succ}))
+                loop.back_edges.append(label)
+                # Collect the loop body by walking predecessors from the tail.
+                stack = [label]
+                while stack:
+                    current = stack.pop()
+                    if current in loop.blocks:
+                        continue
+                    loop.blocks.add(current)
+                    stack.extend(p for p in preds.get(current, []) if p in dom)
+    return sorted(loops.values(), key=lambda loop: loop.header)
+
+
+def loop_exits(function: IRFunction, loop: Loop) -> List[str]:
+    """Blocks outside the loop that are jumped to from inside it."""
+    exits: List[str] = []
+    for label in loop.blocks:
+        for succ in successors(function, label):
+            if succ not in loop.blocks and succ not in exits:
+                exits.append(succ)
+    return exits
+
+
+def edge_count(function: IRFunction) -> int:
+    """Total number of CFG edges (counting duplicate targets once per block)."""
+    return sum(len(successors(function, label)) for label in function.blocks)

@@ -1,0 +1,508 @@
+"""IR instruction classes.
+
+Each instruction is a small mutable dataclass.  Instructions expose a uniform
+interface used by passes and the verifier:
+
+* ``defs()`` -- temporaries written by the instruction,
+* ``uses()`` -- operand values read (temps/consts/symbols),
+* ``replace_uses(mapping)`` -- substitute operand values in place,
+* ``is_terminator`` -- whether the instruction ends a basic block.
+
+Variable slots (scalar locals, parameters, globals) are referenced by name via
+``LoadVar``/``StoreVar``; array accesses go through ``LoadIndex``/``StoreIndex``
+whose ``base`` is either a ``SymbolRef`` (named global/local array) or a
+``Temp`` holding an address (pointer parameters, ``AddrOf`` results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.values import ConstInt, SymbolRef, Temp, Value
+
+#: Binary operators understood by :class:`BinOp`.
+BINARY_OPS = (
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "mod",
+    "and",
+    "or",
+    "xor",
+    "shl",
+    "shr",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+)
+
+#: Unary operators understood by :class:`UnOp`.
+UNARY_OPS = ("neg", "not", "bnot")
+
+
+def _subst(value: Value, mapping: Dict[Value, Value]) -> Value:
+    return mapping.get(value, value)
+
+
+@dataclass
+class Instruction:
+    """Base class for IR instructions."""
+
+    is_terminator = False
+    has_side_effects = False
+
+    def defs(self) -> List[Temp]:
+        return []
+
+    def uses(self) -> List[Value]:
+        return []
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        """Replace operand values according to ``mapping`` (in place)."""
+
+    def targets(self) -> List[str]:
+        """Branch target labels (terminators only)."""
+        return []
+
+    def retarget(self, mapping: Dict[str, str]) -> None:
+        """Rewrite branch target labels according to ``mapping``."""
+
+    def clone(self) -> "Instruction":
+        """Return a shallow copy suitable for code duplication."""
+        raise NotImplementedError
+
+
+@dataclass
+class BinOp(Instruction):
+    dest: Temp
+    op: str
+    lhs: Value
+    rhs: Value
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.lhs = _subst(self.lhs, mapping)
+        self.rhs = _subst(self.rhs, mapping)
+
+    def clone(self) -> "BinOp":
+        return BinOp(self.dest, self.op, self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass
+class UnOp(Instruction):
+    dest: Temp
+    op: str
+    operand: Value
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.operand]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.operand = _subst(self.operand, mapping)
+
+    def clone(self) -> "UnOp":
+        return UnOp(self.dest, self.op, self.operand)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op} {self.operand}"
+
+
+@dataclass
+class Move(Instruction):
+    """Copy a value into a temporary."""
+
+    dest: Temp
+    src: Value
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.src]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    def clone(self) -> "Move":
+        return Move(self.dest, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.src}"
+
+
+@dataclass
+class LoadVar(Instruction):
+    """Load a scalar variable slot into a temporary."""
+
+    dest: Temp
+    var: str
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def clone(self) -> "LoadVar":
+        return LoadVar(self.dest, self.var)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = load {self.var}"
+
+
+@dataclass
+class StoreVar(Instruction):
+    """Store a value into a scalar variable slot."""
+
+    var: str
+    value: Value
+    has_side_effects = True
+
+    def uses(self) -> List[Value]:
+        return [self.value]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.value = _subst(self.value, mapping)
+
+    def clone(self) -> "StoreVar":
+        return StoreVar(self.var, self.value)
+
+    def __str__(self) -> str:
+        return f"store {self.var}, {self.value}"
+
+
+@dataclass
+class LoadIndex(Instruction):
+    """``dest = base[index]`` where base is an array symbol or address temp."""
+
+    dest: Temp
+    base: Value
+    index: Value
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.base, self.index]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.base = _subst(self.base, mapping)
+        self.index = _subst(self.index, mapping)
+
+    def clone(self) -> "LoadIndex":
+        return LoadIndex(self.dest, self.base, self.index)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = loadidx {self.base}[{self.index}]"
+
+
+@dataclass
+class StoreIndex(Instruction):
+    """``base[index] = value``."""
+
+    base: Value
+    index: Value
+    value: Value
+    has_side_effects = True
+
+    def uses(self) -> List[Value]:
+        return [self.base, self.index, self.value]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.base = _subst(self.base, mapping)
+        self.index = _subst(self.index, mapping)
+        self.value = _subst(self.value, mapping)
+
+    def clone(self) -> "StoreIndex":
+        return StoreIndex(self.base, self.index, self.value)
+
+    def __str__(self) -> str:
+        return f"storeidx {self.base}[{self.index}], {self.value}"
+
+
+@dataclass
+class AddrOf(Instruction):
+    """Materialize the address of a named variable or array."""
+
+    dest: Temp
+    var: str
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def clone(self) -> "AddrOf":
+        return AddrOf(self.dest, self.var)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = addrof {self.var}"
+
+
+@dataclass
+class Call(Instruction):
+    """Call a function.  ``dest`` is None for void-context calls."""
+
+    dest: Optional[Temp]
+    callee: str
+    args: List[Value] = field(default_factory=list)
+    is_tail: bool = False
+    has_side_effects = True
+
+    def defs(self) -> List[Temp]:
+        return [self.dest] if self.dest is not None else []
+
+    def uses(self) -> List[Value]:
+        return list(self.args)
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.args = [_subst(arg, mapping) for arg in self.args]
+
+    def clone(self) -> "Call":
+        return Call(self.dest, self.callee, list(self.args), self.is_tail)
+
+    def __str__(self) -> str:
+        prefix = f"{self.dest} = " if self.dest is not None else ""
+        tail = "tail " if self.is_tail else ""
+        args = ", ".join(str(arg) for arg in self.args)
+        return f"{prefix}{tail}call {self.callee}({args})"
+
+
+@dataclass
+class Ret(Instruction):
+    """Return from the current function."""
+
+    value: Optional[Value] = None
+    is_terminator = True
+    has_side_effects = True
+
+    def uses(self) -> List[Value]:
+        return [self.value] if self.value is not None else []
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    def clone(self) -> "Ret":
+        return Ret(self.value)
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+@dataclass
+class Branch(Instruction):
+    """Conditional branch: jump to ``true_label`` if ``cond`` != 0."""
+
+    cond: Value
+    true_label: str
+    false_label: str
+    is_terminator = True
+    has_side_effects = True
+
+    def uses(self) -> List[Value]:
+        return [self.cond]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.cond = _subst(self.cond, mapping)
+
+    def targets(self) -> List[str]:
+        return [self.true_label, self.false_label]
+
+    def retarget(self, mapping: Dict[str, str]) -> None:
+        self.true_label = mapping.get(self.true_label, self.true_label)
+        self.false_label = mapping.get(self.false_label, self.false_label)
+
+    def clone(self) -> "Branch":
+        return Branch(self.cond, self.true_label, self.false_label)
+
+    def __str__(self) -> str:
+        return f"br {self.cond}, {self.true_label}, {self.false_label}"
+
+
+@dataclass
+class Jump(Instruction):
+    """Unconditional jump."""
+
+    label: str
+    is_terminator = True
+    has_side_effects = True
+
+    def targets(self) -> List[str]:
+        return [self.label]
+
+    def retarget(self, mapping: Dict[str, str]) -> None:
+        self.label = mapping.get(self.label, self.label)
+
+    def clone(self) -> "Jump":
+        return Jump(self.label)
+
+    def __str__(self) -> str:
+        return f"jmp {self.label}"
+
+
+@dataclass
+class Switch(Instruction):
+    """Multi-way dispatch.
+
+    The pass pipeline decides whether this becomes an address jump table or a
+    binary-search chain of compares when lowered (mirroring GCC/LLVM's
+    ``-fjump-tables`` behaviour described in §3.1.3 of the paper).
+    """
+
+    value: Value
+    cases: List[Tuple[int, str]] = field(default_factory=list)
+    default_label: str = ""
+    is_terminator = True
+    has_side_effects = True
+
+    def uses(self) -> List[Value]:
+        return [self.value]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.value = _subst(self.value, mapping)
+
+    def targets(self) -> List[str]:
+        return [label for _, label in self.cases] + [self.default_label]
+
+    def retarget(self, mapping: Dict[str, str]) -> None:
+        self.cases = [(value, mapping.get(label, label)) for value, label in self.cases]
+        self.default_label = mapping.get(self.default_label, self.default_label)
+
+    def clone(self) -> "Switch":
+        return Switch(self.value, list(self.cases), self.default_label)
+
+    def __str__(self) -> str:
+        arms = ", ".join(f"{value}->{label}" for value, label in self.cases)
+        return f"switch {self.value} [{arms}] default {self.default_label}"
+
+
+@dataclass
+class Select(Instruction):
+    """Branch-free conditional move: ``dest = cond ? if_true : if_false``."""
+
+    dest: Temp
+    cond: Value
+    if_true: Value
+    if_false: Value
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.cond, self.if_true, self.if_false]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.cond = _subst(self.cond, mapping)
+        self.if_true = _subst(self.if_true, mapping)
+        self.if_false = _subst(self.if_false, mapping)
+
+    def clone(self) -> "Select":
+        return Select(self.dest, self.cond, self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = select {self.cond}, {self.if_true}, {self.if_false}"
+
+
+@dataclass
+class VecLoad(Instruction):
+    """Load ``width`` consecutive elements starting at base[index]."""
+
+    dest: Temp
+    base: Value
+    index: Value
+    width: int = 4
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.base, self.index]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.base = _subst(self.base, mapping)
+        self.index = _subst(self.index, mapping)
+
+    def clone(self) -> "VecLoad":
+        return VecLoad(self.dest, self.base, self.index, self.width)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = vload.{self.width} {self.base}[{self.index}]"
+
+
+@dataclass
+class VecStore(Instruction):
+    """Store a vector temp to ``width`` consecutive elements."""
+
+    base: Value
+    index: Value
+    value: Value
+    width: int = 4
+    has_side_effects = True
+
+    def uses(self) -> List[Value]:
+        return [self.base, self.index, self.value]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.base = _subst(self.base, mapping)
+        self.index = _subst(self.index, mapping)
+        self.value = _subst(self.value, mapping)
+
+    def clone(self) -> "VecStore":
+        return VecStore(self.base, self.index, self.value, self.width)
+
+    def __str__(self) -> str:
+        return f"vstore.{self.width} {self.base}[{self.index}], {self.value}"
+
+
+@dataclass
+class VecBinOp(Instruction):
+    """Element-wise vector arithmetic on vector temps."""
+
+    dest: Temp
+    op: str
+    lhs: Value
+    rhs: Value
+    width: int = 4
+
+    def defs(self) -> List[Temp]:
+        return [self.dest]
+
+    def uses(self) -> List[Value]:
+        return [self.lhs, self.rhs]
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        self.lhs = _subst(self.lhs, mapping)
+        self.rhs = _subst(self.rhs, mapping)
+
+    def clone(self) -> "VecBinOp":
+        return VecBinOp(self.dest, self.op, self.lhs, self.rhs, self.width)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = v{self.op}.{self.width} {self.lhs}, {self.rhs}"
+
+
+@dataclass
+class Nop(Instruction):
+    """Alignment/no-op placeholder (survives into codegen as padding)."""
+
+    def clone(self) -> "Nop":
+        return Nop()
+
+    def __str__(self) -> str:
+        return "nop"
+
+
+#: Terminator instruction classes, used by the verifier and CFG utilities.
+TERMINATORS = (Ret, Branch, Jump, Switch)

@@ -1,0 +1,89 @@
+"""Structural verifier for the IR.
+
+Run after the builder and after every optimization pass (when the pass
+manager's ``verify_each_pass`` option is on) to catch malformed CFGs early:
+missing terminators, dangling branch targets, instructions after a terminator,
+uses of temporaries that are never defined, and duplicate temp definitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import TERMINATORS
+from repro.ir.values import Temp
+from repro.ir import cfg
+
+
+class IRVerificationError(Exception):
+    """Raised when an IR function violates a structural invariant."""
+
+
+def verify_function(function: IRFunction) -> None:
+    """Raise :class:`IRVerificationError` on the first violated invariant."""
+    if function.entry not in function.blocks:
+        raise IRVerificationError(f"{function.name}: entry block {function.entry!r} missing")
+    defined: Set[str] = set()
+    definition_count: dict = {}
+    for label, block in function.blocks.items():
+        if block.label != label:
+            raise IRVerificationError(
+                f"{function.name}: block key {label!r} does not match label {block.label!r}"
+            )
+        if not block.instructions:
+            raise IRVerificationError(f"{function.name}: block {label!r} is empty")
+        terminator = block.instructions[-1]
+        if not isinstance(terminator, TERMINATORS):
+            raise IRVerificationError(
+                f"{function.name}: block {label!r} does not end with a terminator"
+            )
+        for index, instr in enumerate(block.instructions):
+            if instr.is_terminator and index != len(block.instructions) - 1:
+                raise IRVerificationError(
+                    f"{function.name}: block {label!r} has a terminator mid-block"
+                )
+            for temp in instr.defs():
+                definition_count[temp.name] = definition_count.get(temp.name, 0) + 1
+                defined.add(temp.name)
+        for target in terminator.targets():
+            if target not in function.blocks:
+                raise IRVerificationError(
+                    f"{function.name}: block {label!r} branches to missing block {target!r}"
+                )
+    for name, count in definition_count.items():
+        if count > 1:
+            raise IRVerificationError(
+                f"{function.name}: temporary %{name} defined {count} times"
+            )
+    # Every used temp must be defined somewhere in the function.  (We do not
+    # enforce dominance; the builder and passes keep defs ahead of uses along
+    # every path, and the emulator would fault if they did not.)
+    reachable = cfg.reachable_blocks(function)
+    for label in reachable:
+        for instr in function.blocks[label].instructions:
+            for value in instr.uses():
+                if isinstance(value, Temp) and value.name not in defined:
+                    raise IRVerificationError(
+                        f"{function.name}: use of undefined temp %{value.name} in {label!r}"
+                    )
+
+
+def verify_module(module: IRModule) -> List[str]:
+    """Verify every function; return the list of verified function names."""
+    verified = []
+    for function in module.functions.values():
+        verify_function(function)
+        verified.append(function.name)
+    # Calls must reference either a module function or a known builtin.
+    from repro.minic.semantic import BUILTIN_FUNCTIONS
+    from repro.ir.instructions import Call
+
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, Call):
+                if instr.callee not in module.functions and instr.callee not in BUILTIN_FUNCTIONS:
+                    raise IRVerificationError(
+                        f"{function.name}: call to unknown function {instr.callee!r}"
+                    )
+    return verified

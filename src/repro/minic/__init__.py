@@ -1,0 +1,30 @@
+"""Mini-C language frontend.
+
+The paper's experiments compile C programs (SPEC, Coreutils, OpenSSL, leaked
+IoT-malware sources) with GCC and LLVM.  This package provides the frontend of
+the simulated toolchain: a small but realistic C-like language ("mini-C") with
+functions, integer/array types, the usual expression operators, control flow
+(``if``/``while``/``for``/``do``/``switch``), and a handful of builtin library
+functions.  Programs written in mini-C are lexed, parsed into an AST, and type
+checked here before being lowered to the IR in :mod:`repro.ir`.
+"""
+
+from repro.minic.lexer import Lexer, Token, TokenKind, LexerError, tokenize
+from repro.minic.parser import Parser, ParseError, parse_program
+from repro.minic.semantic import SemanticAnalyzer, SemanticError, analyze
+from repro.minic import ast_nodes as ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexerError",
+    "tokenize",
+    "Parser",
+    "ParseError",
+    "parse_program",
+    "SemanticAnalyzer",
+    "SemanticError",
+    "analyze",
+    "ast",
+]

@@ -1,0 +1,295 @@
+"""Tokenizer for the mini-C language.
+
+The lexer is a straightforward hand-written scanner.  It produces a flat list
+of :class:`Token` objects annotated with line/column information so that the
+parser and semantic analyzer can report useful errors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class LexerError(Exception):
+    """Raised when the source text cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories recognized by the lexer."""
+
+    IDENT = "ident"
+    INT_LIT = "int_lit"
+    CHAR_LIT = "char_lit"
+    STRING_LIT = "string_lit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "char",
+        "void",
+        "unsigned",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "switch",
+        "case",
+        "default",
+        "break",
+        "continue",
+        "return",
+        "const",
+        "static",
+        "struct",
+        "sizeof",
+    }
+)
+
+# Multi-character punctuators must be listed longest-first so that maximal
+# munch picks e.g. "<<=" over "<<" over "<".
+PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokenKind
+    text: str
+    value: object = None
+    line: int = 0
+    column: int = 0
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, line={self.line})"
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Converts mini-C source text into a stream of tokens."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until (and including) the EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", None, self.line, self.column)
+                return
+            yield self._next_token()
+
+    # -- internals ---------------------------------------------------------
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            elif ch == "#":
+                # Preprocessor-style lines are accepted and ignored so that
+                # benchmark sources may carry #include / #define decoration.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, column)
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, None, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, None, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start : self.pos]
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start : self.pos]
+            value = int(text, 10)
+        # Accept (and ignore) C integer suffixes.
+        while self._peek() in "uUlL" and self._peek():
+            text += self._advance()
+        return Token(TokenKind.INT_LIT, text, value, line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._advance()
+            if esc not in _ESCAPES:
+                raise self._error(f"unknown escape sequence \\{esc}")
+            value = ord(_ESCAPES[esc])
+        else:
+            if not ch:
+                raise self._error("unterminated character literal")
+            self._advance()
+            value = ord(ch)
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, f"'{chr(value)}'", value, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._advance()
+                if esc not in _ESCAPES:
+                    raise self._error(f"unknown escape sequence \\{esc}")
+                chars.append(_ESCAPES[esc])
+            else:
+                chars.append(self._advance())
+        value = "".join(chars)
+        return Token(TokenKind.STRING_LIT, f'"{value}"', value, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` and return the full token list (EOF included)."""
+    return list(Lexer(source).tokens())

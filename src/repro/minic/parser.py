@@ -1,0 +1,626 @@
+"""Recursive-descent parser for mini-C.
+
+The grammar covers the subset of C used by the workload corpus:
+
+* global variable and fixed-size array declarations (with initializers),
+* function definitions with ``int``/``long``/``char``/``void`` scalars and
+  array ("pointer") parameters,
+* all of C's integer expression operators, short-circuit ``&&``/``||``,
+  the ternary operator, assignments (simple and compound), ``++``/``--``,
+* ``if``/``else``, ``while``, ``do-while``, ``for``, ``switch``/``case``,
+  ``break``, ``continue``, ``return``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(Exception):
+    """Raised when the token stream does not match the grammar."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (at line {token.line}, near {token.text!r})")
+        self.token = token
+
+
+_TYPE_KEYWORDS = {"int", "long", "char", "void", "unsigned"}
+
+# Binary operator precedence table (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses a token stream into an :class:`repro.minic.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token], name: str = "program") -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.name = name
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check_punct(self, text: str) -> bool:
+        return self._peek().is_punct(text)
+
+    def _check_keyword(self, text: str) -> bool:
+        return self._peek().is_keyword(text)
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._check_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._check_punct(text):
+            raise ParseError(f"expected {text!r}", self._peek())
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError("expected identifier", token)
+        return self._advance()
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(name=self.name)
+        while self._peek().kind is not TokenKind.EOF:
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program: ast.Program) -> None:
+        is_static = False
+        is_const = False
+        while True:
+            if self._accept_keyword("static"):
+                is_static = True
+            elif self._accept_keyword("const"):
+                is_const = True
+            else:
+                break
+        base_type = self._parse_type_specifier()
+        name_token = self._expect_ident()
+        if self._check_punct("("):
+            program.functions.append(
+                self._parse_function(base_type, name_token, is_static)
+            )
+        else:
+            self._parse_global_tail(program, base_type, name_token, is_const)
+
+    def _parse_type_specifier(self) -> ast.Type:
+        token = self._peek()
+        unsigned = False
+        if token.is_keyword("unsigned"):
+            unsigned = True
+            self._advance()
+            token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            self._advance()
+            kind = token.text
+        elif unsigned:
+            kind = "int"
+        else:
+            raise ParseError("expected type specifier", token)
+        # Long long / unsigned long etc. collapse to the base integer types.
+        while self._check_keyword("long") or self._check_keyword("int"):
+            self._advance()
+        ty = ast.Type(kind if kind != "unsigned" else "int", None, unsigned)
+        # Pointer declarators decay to unsized arrays.
+        while self._accept_punct("*"):
+            ty = ast.Type(ty.kind, -1, ty.unsigned)
+        return ty
+
+    def _parse_function(
+        self, return_type: ast.Type, name_token: Token, is_static: bool
+    ) -> ast.FunctionDef:
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self._check_punct(")"):
+            if self._check_keyword("void") and self._peek(1).is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    param_type = self._parse_type_specifier()
+                    param_name = self._expect_ident()
+                    if self._accept_punct("["):
+                        # Array parameters decay to pointers.
+                        if self._peek().kind is TokenKind.INT_LIT:
+                            self._advance()
+                        self._expect_punct("]")
+                        param_type = ast.Type(param_type.kind, -1, param_type.unsigned)
+                    params.append(
+                        ast.Param(param_name.text, param_type, param_name.line)
+                    )
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            name=name_token.text,
+            return_type=return_type,
+            params=params,
+            body=body,
+            line=name_token.line,
+            is_static=is_static,
+        )
+
+    def _parse_global_tail(
+        self,
+        program: ast.Program,
+        base_type: ast.Type,
+        name_token: Token,
+        is_const: bool,
+    ) -> None:
+        while True:
+            var_type = base_type
+            if self._accept_punct("["):
+                size_token = self._peek()
+                if size_token.kind is not TokenKind.INT_LIT:
+                    raise ParseError("expected array size", size_token)
+                self._advance()
+                self._expect_punct("]")
+                var_type = ast.Type(base_type.kind, size_token.value, base_type.unsigned)
+            init: Optional[ast.Expr] = None
+            init_list: Optional[List[ast.Expr]] = None
+            if self._accept_punct("="):
+                if self._check_punct("{"):
+                    init_list = self._parse_initializer_list()
+                else:
+                    init = self._parse_expression()
+            program.globals.append(
+                ast.GlobalVar(
+                    name=name_token.text,
+                    type=var_type,
+                    init=init,
+                    init_list=init_list,
+                    line=name_token.line,
+                    is_const=is_const,
+                )
+            )
+            if self._accept_punct(","):
+                name_token = self._expect_ident()
+                continue
+            self._expect_punct(";")
+            return
+
+    def _parse_initializer_list(self) -> List[ast.Expr]:
+        self._expect_punct("{")
+        values: List[ast.Expr] = []
+        if not self._check_punct("}"):
+            while True:
+                values.append(self._parse_assignment_expr())
+                if not self._accept_punct(","):
+                    break
+                if self._check_punct("}"):
+                    break
+        self._expect_punct("}")
+        return values
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._check_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", self._peek())
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(line=open_token.line, statements=statements)
+
+    def _looks_like_declaration(self) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.text in (
+            _TYPE_KEYWORDS | {"const", "static"}
+        )
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_punct(";"):
+            self._advance()
+            return ast.Block(line=token.line, statements=[])
+        if self._looks_like_declaration():
+            return self._parse_declaration()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("switch"):
+            return self._parse_switch()
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Break(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.Continue(line=token.line)
+        if token.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self._check_punct(";"):
+                value = self._parse_expression()
+            self._expect_punct(";")
+            return ast.Return(line=token.line, value=value)
+        expr = self._parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_declaration(self) -> ast.Stmt:
+        line = self._peek().line
+        while self._check_keyword("const") or self._check_keyword("static"):
+            self._advance()
+        base_type = self._parse_type_specifier()
+        decls: List[ast.Stmt] = []
+        while True:
+            name_token = self._expect_ident()
+            var_type = base_type
+            if self._accept_punct("["):
+                size_token = self._peek()
+                if size_token.kind is not TokenKind.INT_LIT:
+                    raise ParseError("expected array size", size_token)
+                self._advance()
+                self._expect_punct("]")
+                var_type = ast.Type(base_type.kind, size_token.value, base_type.unsigned)
+            init: Optional[ast.Expr] = None
+            init_list: Optional[List[ast.Expr]] = None
+            if self._accept_punct("="):
+                if self._check_punct("{"):
+                    init_list = self._parse_initializer_list()
+                else:
+                    init = self._parse_assignment_expr()
+            decls.append(
+                ast.VarDecl(
+                    line=name_token.line,
+                    name=name_token.text,
+                    type=var_type,
+                    init=init,
+                    init_list=init_list,
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(line=line, statements=decls)
+
+    def _parse_if(self) -> ast.If:
+        token = self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept_keyword("else"):
+            otherwise = self._parse_statement()
+        return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> ast.While:
+        token = self._advance()
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._advance()
+        body = self._parse_statement()
+        if not self._accept_keyword("while"):
+            raise ParseError("expected 'while' after do-body", self._peek())
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(line=token.line, body=body, cond=cond)
+
+    def _parse_for(self) -> ast.For:
+        token = self._advance()
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check_punct(";"):
+            if self._looks_like_declaration():
+                init = self._parse_declaration()
+            else:
+                expr = self._parse_expression()
+                self._expect_punct(";")
+                init = ast.ExprStmt(line=token.line, expr=expr)
+        else:
+            self._advance()
+        cond: Optional[ast.Expr] = None
+        if not self._check_punct(";"):
+            cond = self._parse_expression()
+        self._expect_punct(";")
+        step: Optional[ast.Expr] = None
+        if not self._check_punct(")"):
+            step = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_switch(self) -> ast.Switch:
+        token = self._advance()
+        self._expect_punct("(")
+        expr = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        current: Optional[ast.SwitchCase] = None
+        while not self._check_punct("}"):
+            if self._check_keyword("case"):
+                case_token = self._advance()
+                value_expr = self._parse_expression()
+                value = _const_eval(value_expr)
+                if value is None:
+                    raise ParseError("case label must be a constant", case_token)
+                self._expect_punct(":")
+                current = ast.SwitchCase(value=value, body=[], line=case_token.line)
+                cases.append(current)
+            elif self._check_keyword("default"):
+                default_token = self._advance()
+                self._expect_punct(":")
+                current = ast.SwitchCase(value=None, body=[], line=default_token.line)
+                cases.append(current)
+            else:
+                if current is None:
+                    raise ParseError("statement before first case label", self._peek())
+                current.body.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Switch(line=token.line, expr=expr, cases=cases)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment_expr()
+        # The comma operator evaluates both sides and yields the right side.
+        while self._check_punct(",") and not self._comma_is_separator():
+            self._advance()
+            right = self._parse_assignment_expr()
+            expr = ast.BinaryOp(line=expr.line, op=",", left=expr, right=right)
+        return expr
+
+    def _comma_is_separator(self) -> bool:
+        # Inside argument lists and initializers the caller handles commas;
+        # this parser only sees top-level expressions via statements and the
+        # for-header, where commas are always the comma operator.  Argument
+        # parsing calls _parse_assignment_expr directly so this is safe.
+        return False
+
+    def _parse_assignment_expr(self) -> ast.Expr:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment_expr()
+            if not isinstance(left, (ast.VarRef, ast.ArrayRef)):
+                raise ParseError("invalid assignment target", token)
+            return ast.Assignment(line=token.line, target=left, value=value, op=token.text)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._accept_punct("?"):
+            then = self._parse_assignment_expr()
+            self._expect_punct(":")
+            otherwise = self._parse_assignment_expr()
+            return ast.TernaryOp(line=cond.line, cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryOp(line=token.line, op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "!", "~", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.UnaryOp(line=token.line, op=token.text, operand=operand)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._advance()
+            operand = self._parse_unary()
+            op = "+=" if token.text == "++" else "-="
+            return ast.Assignment(
+                line=token.line,
+                target=operand,
+                value=ast.IntLiteral(line=token.line, value=1),
+                op=op,
+            )
+        if token.is_keyword("sizeof"):
+            self._advance()
+            self._expect_punct("(")
+            # sizeof(type) and sizeof(expr) both evaluate to the word size.
+            depth = 1
+            while depth:
+                inner = self._advance()
+                if inner.is_punct("("):
+                    depth += 1
+                elif inner.is_punct(")"):
+                    depth -= 1
+            return ast.IntLiteral(line=token.line, value=8)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                if not isinstance(expr, ast.VarRef):
+                    raise ParseError("only simple arrays may be indexed", token)
+                expr = ast.ArrayRef(line=token.line, name=expr.name, index=index)
+            elif token.is_punct("++") or token.is_punct("--"):
+                # Post-increment is lowered to the "old value" idiom:
+                # (x += 1) - 1 so that its value semantics are preserved.
+                self._advance()
+                delta = 1 if token.text == "++" else -1
+                op = "+=" if delta == 1 else "-="
+                inc = ast.Assignment(
+                    line=token.line,
+                    target=expr,
+                    value=ast.IntLiteral(line=token.line, value=1),
+                    op=op,
+                )
+                expr = ast.BinaryOp(
+                    line=token.line,
+                    op="-" if delta == 1 else "+",
+                    left=inc,
+                    right=ast.IntLiteral(line=token.line, value=1),
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LIT or token.kind is TokenKind.CHAR_LIT:
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=int(token.value))
+        if token.kind is TokenKind.STRING_LIT:
+            self._advance()
+            return ast.StringLiteral(line=token.line, value=token.value)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check_punct("("):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check_punct(")"):
+                    while True:
+                        args.append(self._parse_assignment_expr())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            return ast.VarRef(line=token.line, name=token.text)
+        if token.is_punct("("):
+            self._advance()
+            if (
+                self._peek().kind is TokenKind.KEYWORD
+                and self._peek().text in _TYPE_KEYWORDS
+            ):
+                # Cast expression: parse and ignore the type (everything is a
+                # 64-bit integer in the simulated machine).
+                self._parse_type_specifier()
+                self._expect_punct(")")
+                return self._parse_unary()
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise ParseError("expected expression", token)
+
+
+def _const_eval(expr: ast.Expr) -> Optional[int]:
+    """Evaluate a constant integer expression, or return None."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp):
+        value = _const_eval(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        if expr.op == "!":
+            return int(not value)
+    if isinstance(expr, ast.BinaryOp):
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return _apply_const_binop(expr.op, left, right)
+        except ZeroDivisionError:
+            return None
+    return None
+
+
+def _apply_const_binop(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return int(left / right) if right else 0
+    if op == "%":
+        return left - int(left / right) * right if right else 0
+    if op == "<<":
+        return left << (right & 63)
+    if op == ">>":
+        return left >> (right & 63)
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    raise ValueError(f"not a constant operator: {op}")
+
+
+def parse_program(source: str, name: str = "program") -> ast.Program:
+    """Parse mini-C ``source`` into a :class:`Program` AST."""
+    return Parser(tokenize(source), name=name).parse_program()

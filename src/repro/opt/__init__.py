@@ -1,0 +1,65 @@
+"""Optimization passes and the flag registry.
+
+This package is the simulated analogue of GCC/LLVM's middle end.  Every pass
+is gated by one or more named optimization flags (see :mod:`repro.opt.flags`);
+the pass manager (:mod:`repro.opt.pass_manager`) turns a flag vector into a
+concrete pass pipeline plus codegen options.  BinTuner's search space is the
+space of these flag vectors.
+"""
+
+from repro.opt.flags import (
+    Flag,
+    FlagRegistry,
+    FlagVector,
+    GCC_FLAGS,
+    LLVM_FLAGS,
+    build_gcc_registry,
+    build_llvm_registry,
+)
+from repro.opt.pass_manager import PassManager, PassPipeline, optimization_report
+from repro.opt.scalar import (
+    constant_fold_function,
+    propagate_copies_function,
+    eliminate_dead_code,
+    common_subexpression_elimination,
+    simplify_cfg,
+    reorder_blocks,
+)
+from repro.opt.inline import inline_functions, tail_call_optimization
+from repro.opt.loops import (
+    unroll_loops,
+    peel_loops,
+    hoist_loop_invariants,
+    vectorize_loops,
+)
+from repro.opt.ifconvert import if_convert
+from repro.opt.strength import strength_reduce, expand_builtins, merge_constants
+
+__all__ = [
+    "Flag",
+    "FlagRegistry",
+    "FlagVector",
+    "GCC_FLAGS",
+    "LLVM_FLAGS",
+    "build_gcc_registry",
+    "build_llvm_registry",
+    "PassManager",
+    "PassPipeline",
+    "optimization_report",
+    "constant_fold_function",
+    "propagate_copies_function",
+    "eliminate_dead_code",
+    "common_subexpression_elimination",
+    "simplify_cfg",
+    "reorder_blocks",
+    "inline_functions",
+    "tail_call_optimization",
+    "unroll_loops",
+    "peel_loops",
+    "hoist_loop_invariants",
+    "vectorize_loops",
+    "if_convert",
+    "strength_reduce",
+    "expand_builtins",
+    "merge_constants",
+]

@@ -1,0 +1,131 @@
+"""If-conversion: turn small branches into branch-free ``Select`` code.
+
+This implements the "branch-free code" family of optimizations the paper
+illustrates in Figure 2(b): diamonds (and half-diamonds) whose arms only store
+one value into one scalar slot collapse into a conditional-move, merging three
+or four basic blocks into one and erasing a CFG edge pair — exactly the effect
+that breaks 1-to-1 basic-block matching in CoP/Multi-MH-style tools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import cfg
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import Branch, Jump, LoadVar, Select, StoreVar
+from repro.ir.values import Value
+
+
+def _arm_single_store(function: IRFunction, label: str, join: str) -> Optional[Tuple[str, Value, int]]:
+    """If ``label`` is a block that only stores one scalar then jumps to ``join``,
+    return (variable, value, instruction count)."""
+    block = function.blocks.get(label)
+    if block is None:
+        return None
+    terminator = block.terminator
+    if not isinstance(terminator, Jump) or terminator.label != join:
+        return None
+    body = block.body
+    stores = [instr for instr in body if isinstance(instr, StoreVar)]
+    if len(stores) != 1:
+        return None
+    store = stores[0]
+    # Any other instructions must be pure value computations feeding the store.
+    # Divisions are excluded: they become speculative after conversion and a
+    # zero divisor the branch was guarding against would then trap.
+    from repro.ir.instructions import BinOp
+
+    for instr in body:
+        if instr is store:
+            continue
+        if instr.has_side_effects or instr.is_terminator:
+            return None
+        if isinstance(instr, BinOp) and instr.op in ("div", "mod"):
+            return None
+    return store.var, store.value, len(body)
+
+
+def if_convert(function: IRFunction, max_arm_instructions: int = 6) -> int:
+    """Convert diamond/triangle branches over a single scalar into ``Select``."""
+    converted = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = cfg.predecessors_map(function)
+        for label in list(function.blocks):
+            block = function.blocks.get(label)
+            if block is None:
+                continue
+            terminator = block.terminator
+            if not isinstance(terminator, Branch):
+                continue
+            true_label, false_label = terminator.true_label, terminator.false_label
+            if true_label == false_label:
+                continue
+            # Full diamond: both arms store the same variable and meet at a join.
+            for join_candidate in _join_candidates(function, true_label, false_label):
+                true_arm = _arm_single_store(function, true_label, join_candidate)
+                false_arm = _arm_single_store(function, false_label, join_candidate)
+                if true_arm is None or false_arm is None:
+                    continue
+                true_var, true_value, true_size = true_arm
+                false_var, false_value, false_size = false_arm
+                if true_var != false_var:
+                    continue
+                if true_size > max_arm_instructions or false_size > max_arm_instructions:
+                    continue
+                if len(preds.get(true_label, [])) != 1 or len(preds.get(false_label, [])) != 1:
+                    continue
+                # Move the arms' computations into the predecessor, then select.
+                self_contained = _arms_self_contained(function, true_label, false_label)
+                if not self_contained:
+                    continue
+                for arm_label in (true_label, false_label):
+                    arm_block = function.blocks[arm_label]
+                    for instr in arm_block.body:
+                        if not isinstance(instr, StoreVar):
+                            block.instructions.insert(len(block.instructions) - 1, instr)
+                select_temp = function.new_temp("ifc")
+                select = Select(select_temp, terminator.cond, true_value, false_value)
+                store = StoreVar(true_var, select_temp)
+                block.instructions = block.instructions[:-1] + [select, store, Jump(join_candidate)]
+                function.remove_block(true_label)
+                function.remove_block(false_label)
+                converted += 1
+                changed = True
+                break
+            if changed:
+                break
+    return converted
+
+
+def _join_candidates(function: IRFunction, true_label: str, false_label: str) -> List[str]:
+    true_block = function.blocks.get(true_label)
+    false_block = function.blocks.get(false_label)
+    candidates: List[str] = []
+    for candidate_block in (true_block, false_block):
+        if candidate_block is None:
+            continue
+        terminator = candidate_block.terminator
+        if isinstance(terminator, Jump) and terminator.label not in candidates:
+            candidates.append(terminator.label)
+    return candidates
+
+
+def _arms_self_contained(function: IRFunction, true_label: str, false_label: str) -> bool:
+    """The arm computations must not depend on temps defined in the other arm."""
+    for label in (true_label, false_label):
+        block = function.blocks[label]
+        defined = {t.name for instr in block.instructions for t in instr.defs()}
+        other = function.blocks[false_label if label == true_label else true_label]
+        other_defined = {t.name for instr in other.instructions for t in instr.defs()}
+        for instr in block.instructions:
+            for value in instr.uses():
+                if hasattr(value, "name") and value.name in other_defined and value.name not in defined:
+                    return False
+    return True
+
+
+def if_convert_module(module: IRModule, max_arm_instructions: int = 6) -> int:
+    return sum(if_convert(fn, max_arm_instructions) for fn in module.functions.values())

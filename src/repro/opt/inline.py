@@ -1,0 +1,177 @@
+"""Inter-procedural passes: function inlining and tail-call optimization.
+
+These are the two transformations the paper singles out as breaking binary
+*function* integrity (§3.1.1): inlining makes the callee's code disappear into
+callers, and tail calls replace ``call``/``ret`` pairs with plain jumps so
+static tools mis-attribute the callee's body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import Call, Jump, Ret, StoreVar
+from repro.ir.values import ConstInt, Temp, Value
+from repro.opt.cloning import CloneNamer, rename_instruction
+from repro.minic.semantic import BUILTIN_FUNCTIONS
+
+
+def _is_recursive(module: IRModule, name: str) -> bool:
+    function = module.functions[name]
+    return name in function.called_functions()
+
+
+def _inline_candidates(
+    module: IRModule,
+    max_instructions: int,
+    small_only: bool,
+    small_threshold: int,
+) -> Set[str]:
+    candidates: Set[str] = set()
+    for name, function in module.functions.items():
+        if name == "main" or _is_recursive(module, name):
+            continue
+        size = function.instruction_count()
+        if small_only:
+            if size <= small_threshold:
+                candidates.add(name)
+        elif size <= max_instructions:
+            candidates.add(name)
+    return candidates
+
+
+def inline_functions(
+    module: IRModule,
+    max_instructions: int = 120,
+    small_only: bool = False,
+    small_threshold: int = 30,
+    max_call_sites: int = 64,
+) -> int:
+    """Inline calls to non-recursive module functions.
+
+    ``small_only`` models ``-finline-small-functions``; the generic form
+    models ``-finline-functions``.  Returns the number of call sites inlined.
+    """
+    candidates = _inline_candidates(module, max_instructions, small_only, small_threshold)
+    if not candidates:
+        return 0
+    inlined = 0
+    for caller in list(module.functions.values()):
+        sites = 0
+        changed = True
+        while changed and sites < max_call_sites:
+            changed = False
+            for label in list(caller.block_order()):
+                block = caller.blocks.get(label)
+                if block is None:
+                    continue
+                for index, instr in enumerate(block.instructions):
+                    if (
+                        isinstance(instr, Call)
+                        and instr.callee in candidates
+                        and instr.callee != caller.name
+                        and instr.callee in module.functions
+                    ):
+                        _inline_call_site(caller, module.functions[instr.callee], label, index)
+                        inlined += 1
+                        sites += 1
+                        changed = True
+                        break
+                if changed:
+                    break
+    return inlined
+
+
+def _inline_call_site(
+    caller: IRFunction, callee: IRFunction, label: str, index: int
+) -> None:
+    """Splice ``callee``'s body in place of the call at (label, index)."""
+    block = caller.blocks[label]
+    call = block.instructions[index]
+    assert isinstance(call, Call)
+    tag = caller.new_label("inl").replace(".", "_")
+
+    # 1. Split the calling block: everything after the call moves to a new
+    #    continuation block.
+    continuation_label = caller.new_label(f"{label}.cont")
+    continuation = caller.add_block(continuation_label)
+    continuation.instructions = block.instructions[index + 1 :]
+    block.instructions = block.instructions[:index]
+
+    # 2. Map callee locals (params included) onto fresh caller slots.
+    var_map: Dict[str, str] = {}
+    for name, local in callee.locals.items():
+        new_name = f"{name}@{tag}"
+        var_map[name] = new_name
+        caller.declare_local(new_name, local.size, local.is_array)
+
+    # 3. Clone callee blocks into the caller with renamed temps/labels/slots.
+    namer = CloneNamer(caller, tag)
+    callee_instructions = [i for blk in callee.blocks.values() for i in blk.instructions]
+    temp_map = namer.temp_map(callee_instructions)
+    label_map = namer.label_map(list(callee.blocks.keys()))
+    result_slot: Optional[str] = None
+    if call.dest is not None:
+        result_slot = f"__ret@{tag}"
+        caller.declare_local(result_slot, 1, False)
+    for old_label, old_block in callee.blocks.items():
+        new_block = caller.add_block(label_map[old_label])
+        new_block.align = old_block.align
+        for instr in old_block.instructions:
+            if isinstance(instr, Ret):
+                if result_slot is not None:
+                    value: Value = instr.value if instr.value is not None else ConstInt(0)
+                    mapped = rename_instruction(StoreVar(result_slot, value), temp_map, None, var_map)
+                    new_block.append(mapped)
+                new_block.append(Jump(continuation_label))
+            else:
+                new_block.append(rename_instruction(instr, temp_map, label_map, var_map))
+
+    # 4. Pass arguments by storing into the renamed parameter slots.
+    for param, argument in zip(callee.params, call.args):
+        block.append(StoreVar(var_map[param], argument))
+    block.append(Jump(label_map[callee.entry]))
+
+    # 5. The call's result is read back from the result slot.
+    if call.dest is not None and result_slot is not None:
+        from repro.ir.instructions import LoadVar
+
+        continuation.instructions.insert(0, LoadVar(call.dest, result_slot))
+    # The continuation inherits the original block's terminator (the call was
+    # never the last instruction of a well-formed block); ensure_terminated()
+    # is a safety net for malformed inputs.
+    caller.ensure_terminated()
+
+
+def tail_call_optimization(module: IRModule) -> int:
+    """Mark calls in tail position (``call f(); ret f()``) as tail calls.
+
+    The code generator then emits a frame-teardown + ``tcall`` instead of a
+    ``call``/``ret`` pair.  Returns the number of calls marked.
+    """
+    marked = 0
+    for function in module.functions.values():
+        for block in function.blocks.values():
+            instructions = block.instructions
+            if len(instructions) < 2:
+                continue
+            call = instructions[-2]
+            ret = instructions[-1]
+            if not isinstance(call, Call) or not isinstance(ret, Ret):
+                continue
+            if call.callee in BUILTIN_FUNCTIONS or call.callee not in module.functions:
+                continue
+            returns_call_value = (
+                isinstance(ret.value, Temp)
+                and call.dest is not None
+                and ret.value.name == call.dest.name
+            )
+            returns_nothing = ret.value is None and call.dest is None
+            # A call whose value is ignored followed by `ret <const>` is not a
+            # tail call (the constant must be materialized after the call).
+            if returns_call_value or returns_nothing:
+                if not call.is_tail:
+                    call.is_tail = True
+                    marked += 1
+    return marked

@@ -1,0 +1,200 @@
+"""Strength reduction, builtin expansion, constant merging.
+
+These passes change the *semantic-level* appearance of code (paper §3.2):
+
+* multiplication by constants is decomposed into shift/add sequences (the
+  "Hacker's Delight" style rewrites both GCC and LLVM apply);
+* calls to ``strcpy``/``strlen``/``memset`` with constant arguments are
+  expanded inline into store sequences (GCC's builtin expansion, Fig. 3(d));
+* identical constant global objects are merged (``-fmerge-all-constants``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import IRFunction, IRModule
+from repro.ir.instructions import BinOp, Call, Move, StoreIndex
+from repro.ir.values import ConstInt, SymbolRef, Temp, Value  # noqa: F401  (Temp/Value used in resolve helpers)
+
+
+def _shift_add_decomposition(constant: int) -> Optional[List[Tuple[str, int]]]:
+    """Decompose multiplication by ``constant`` into at most three shift terms.
+
+    Returns a list of (op, shift) where op is "add" or "sub"; e.g. ``10`` ->
+    ``[("add", 3), ("add", 1)]`` meaning ``(x << 3) + (x << 1)``, and ``15`` ->
+    ``[("add", 4), ("sub", 0)]`` meaning ``(x << 4) - x``.
+    """
+    if constant <= 0:
+        return None
+    # Plain power of two.
+    if constant & (constant - 1) == 0:
+        return [("add", constant.bit_length() - 1)]
+    set_bits = [i for i in range(constant.bit_length()) if constant >> i & 1]
+    if len(set_bits) <= 3:
+        return [("add", shift) for shift in reversed(set_bits)]
+    # 2^k - 2^j form (e.g. 15 = 16 - 1, 24 = 32 - 8).
+    for high in range(constant.bit_length(), constant.bit_length() + 2):
+        difference = (1 << high) - constant
+        if difference > 0 and difference & (difference - 1) == 0:
+            return [("add", high), ("sub", difference.bit_length() - 1)]
+    return None
+
+
+def strength_reduce(function: IRFunction) -> int:
+    """Rewrite multiplications by constants into shift/add sequences."""
+    rewrites = 0
+    for block in function.blocks.values():
+        new_instructions = []
+        for instr in block.instructions:
+            if (
+                isinstance(instr, BinOp)
+                and instr.op == "mul"
+                and isinstance(instr.rhs, ConstInt)
+                and instr.rhs.value > 2
+            ):
+                decomposition = _shift_add_decomposition(instr.rhs.value)
+                if decomposition is not None and len(decomposition) >= 1:
+                    rewrites += 1
+                    source = instr.lhs
+                    accumulator: Optional[Temp] = None
+                    for op, shift in decomposition:
+                        shifted = function.new_temp("sr")
+                        new_instructions.append(BinOp(shifted, "shl", source, ConstInt(shift)))
+                        if accumulator is None:
+                            accumulator = shifted
+                        else:
+                            combined = function.new_temp("sr")
+                            new_instructions.append(BinOp(combined, op, accumulator, shifted))
+                            accumulator = combined
+                    new_instructions.append(Move(instr.dest, accumulator))
+                    continue
+            new_instructions.append(instr)
+        block.instructions = new_instructions
+    return rewrites
+
+
+def expand_builtins(module: IRModule, max_expansion: int = 32) -> int:
+    """Expand ``strcpy``/``strlen``/``memset`` calls with constant arguments.
+
+    ``strcpy(buf, "...")`` becomes a sequence of per-character stores and
+    ``strlen("...")`` becomes a constant, mirroring GCC's builtin handling.
+    """
+    expanded = 0
+    string_globals = {
+        name: data for name, data in module.globals.items() if data.is_string
+    }
+    for function in module.functions.values():
+        # String literals reach calls through a Move of the symbol into a temp;
+        # resolve those copies so constant arguments are recognized.
+        symbol_copies: Dict[str, SymbolRef] = {}
+        for instr in function.instructions():
+            if isinstance(instr, Move) and isinstance(instr.src, SymbolRef):
+                symbol_copies[instr.dest.name] = instr.src
+
+        def resolve(value: Value) -> Value:
+            if isinstance(value, Temp) and value.name in symbol_copies:
+                return symbol_copies[value.name]
+            return value
+
+        for block in function.blocks.values():
+            new_instructions = []
+            for instr in block.instructions:
+                if isinstance(instr, Call) and instr.callee == "strcpy" and len(instr.args) == 2:
+                    destination, source = instr.args[0], resolve(instr.args[1])
+                    if isinstance(source, SymbolRef) and source.name in string_globals:
+                        data = string_globals[source.name]
+                        if len(data.init) <= max_expansion:
+                            for index, char in enumerate(data.init):
+                                new_instructions.append(
+                                    StoreIndex(destination, ConstInt(index), ConstInt(char))
+                                )
+                            if instr.dest is not None:
+                                new_instructions.append(Move(instr.dest, destination))
+                            expanded += 1
+                            continue
+                if isinstance(instr, Call) and instr.callee == "strlen" and len(instr.args) == 1:
+                    source = resolve(instr.args[0])
+                    if isinstance(source, SymbolRef) and source.name in string_globals:
+                        length = max(len(string_globals[source.name].init) - 1, 0)
+                        if instr.dest is not None:
+                            new_instructions.append(Move(instr.dest, ConstInt(length)))
+                        expanded += 1
+                        continue
+                if (
+                    isinstance(instr, Call)
+                    and instr.callee == "memset"
+                    and len(instr.args) == 3
+                    and isinstance(instr.args[2], ConstInt)
+                    and 0 < instr.args[2].value <= max_expansion
+                ):
+                    destination, value, count = instr.args
+                    for index in range(count.value):
+                        new_instructions.append(StoreIndex(destination, ConstInt(index), value))
+                    if instr.dest is not None:
+                        new_instructions.append(Move(instr.dest, destination))
+                    expanded += 1
+                    continue
+                new_instructions.append(instr)
+            block.instructions = new_instructions
+    return expanded
+
+
+def merge_constants(module: IRModule) -> int:
+    """Merge identical constant globals and rewrite references."""
+    merged = 0
+    canonical: Dict[Tuple, str] = {}
+    replacements: Dict[str, str] = {}
+    for name, data in list(module.globals.items()):
+        if not data.is_const:
+            continue
+        key = (tuple(data.init), data.size)
+        if key in canonical:
+            replacements[name] = canonical[key]
+            del module.globals[name]
+            merged += 1
+        else:
+            canonical[key] = name
+    if not replacements:
+        return 0
+    substitution = {SymbolRef(old): SymbolRef(new) for old, new in replacements.items()}
+    for function in module.functions.values():
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                instr.replace_uses(substitution)
+                if hasattr(instr, "var") and getattr(instr, "var") in replacements:
+                    instr.var = replacements[instr.var]  # type: ignore[attr-defined]
+    return merged
+
+
+def reorder_functions(module: IRModule, strategy: str = "size") -> int:
+    """Reorder function layout (``-freorder-functions``)."""
+    names = list(module.functions)
+    if strategy == "size":
+        order = sorted(names, key=lambda n: module.functions[n].instruction_count())
+    elif strategy == "callees_first":
+        # Leaf functions first, then callers (approximate bottom-up order).
+        order = sorted(
+            names,
+            key=lambda n: (len(module.functions[n].called_functions()), names.index(n)),
+        )
+    else:
+        order = list(reversed(names))
+    if order == names:
+        return 0
+    module.reorder_functions(order)
+    return 1
+
+
+def align_loop_headers(module: IRModule, alignment: int = 8) -> int:
+    """Request byte alignment on loop header blocks (``-falign-loops``)."""
+    from repro.ir import cfg as _cfg
+
+    aligned = 0
+    for function in module.functions.values():
+        for loop in _cfg.natural_loops(function):
+            block = function.blocks.get(loop.header)
+            if block is not None and block.align < alignment:
+                block.align = alignment
+                aligned += 1
+    return aligned

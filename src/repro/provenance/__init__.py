@@ -1,0 +1,5 @@
+"""Compiler provenance recovery (BinComp stand-in)."""
+
+from repro.provenance.bincomp import BinComp, ProvenanceLabel
+
+__all__ = ["BinComp", "ProvenanceLabel"]

@@ -1,0 +1,53 @@
+"""BinTuner: search-based iterative compilation for binary code difference.
+
+This is the paper's primary contribution (§4).  The package provides:
+
+* :mod:`repro.tuner.constraints` — the flag-constraint engine (the Z3 stand-in
+  of §4.1's "Constraints Verification" component);
+* :mod:`repro.tuner.search` — the genetic algorithm plus hill-climbing and
+  random-search baselines;
+* :mod:`repro.tuner.database` — the iteration database that records every
+  compilation, its flag vector, fitness and binary fingerprint;
+* :mod:`repro.tuner.tuner` — the :class:`BinTuner` orchestrator (compiler
+  interface + fitness function + termination criteria) and the build-spec
+  ("makefile analyzer") front door;
+* :mod:`repro.tuner.potency` — per-flag potency analysis and the Jaccard
+  index of Figure 7.
+"""
+
+from repro.tuner.constraints import ConstraintEngine, ConstraintViolation
+from repro.tuner.search import (
+    GeneticAlgorithm,
+    GAParameters,
+    HillClimber,
+    RandomSearch,
+    SearchObserver,
+)
+from repro.tuner.database import TuningDatabase, IterationRecord
+from repro.tuner.tuner import (
+    BinTuner,
+    BinTunerConfig,
+    TuningResult,
+    BuildSpec,
+    BinHuntFitness,
+)
+from repro.tuner.potency import flag_potency, jaccard_with_level
+
+__all__ = [
+    "ConstraintEngine",
+    "ConstraintViolation",
+    "GeneticAlgorithm",
+    "GAParameters",
+    "HillClimber",
+    "RandomSearch",
+    "SearchObserver",
+    "TuningDatabase",
+    "IterationRecord",
+    "BinTuner",
+    "BinTunerConfig",
+    "TuningResult",
+    "BuildSpec",
+    "BinHuntFitness",
+    "flag_potency",
+    "jaccard_with_level",
+]

@@ -1,0 +1,106 @@
+"""Flag-constraint verification (the Z3 stand-in).
+
+The paper encodes inter-flag constraints as first-order formulas and uses Z3
+to reject conflicting optimization sequences before compiling (§4.1).  The
+constraint language needed for compiler flags is purely propositional over
+boolean variables — implications (``dependent -> prerequisite``) and mutual
+exclusions (``not (a and b)``) — so a small dedicated engine with unit
+propagation and deterministic repair covers it without an SMT solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from repro.opt.flags import FlagRegistry, FlagVector
+
+
+class ConstraintViolation(Exception):
+    """Raised by :meth:`ConstraintEngine.check` in strict mode."""
+
+
+@dataclass
+class ConstraintEngine:
+    """Checks and repairs flag vectors against a registry's constraints."""
+
+    registry: FlagRegistry
+
+    # -- queries ----------------------------------------------------------------
+
+    def violations(self, flags: FlagVector) -> List[str]:
+        """Human-readable list of violated constraints (empty when valid)."""
+        enabled = flags.enabled
+        problems: List[str] = []
+        for dependent, prerequisite in self.registry.requires:
+            if dependent in enabled and prerequisite not in enabled:
+                problems.append(f"{dependent} requires {prerequisite}")
+        for left, right in self.registry.conflicts:
+            if left in enabled and right in enabled:
+                problems.append(f"{left} conflicts with {right}")
+        return problems
+
+    def is_valid(self, flags: FlagVector) -> bool:
+        return not self.violations(flags)
+
+    def check(self, flags: FlagVector) -> FlagVector:
+        """Return ``flags`` unchanged or raise :class:`ConstraintViolation`."""
+        problems = self.violations(flags)
+        if problems:
+            raise ConstraintViolation("; ".join(problems))
+        return flags
+
+    # -- repair -----------------------------------------------------------------
+
+    def repair(self, flags: FlagVector) -> FlagVector:
+        """Deterministically repair an invalid vector.
+
+        Missing prerequisites are switched on (unit propagation over the
+        implication closure); conflicts are resolved by dropping the flag that
+        appears later in the registry order (a stable, reproducible choice
+        that keeps the mutation/crossover results usable).
+        """
+        enabled: Set[str] = set(flags.enabled)
+        # Propagate prerequisites to a fixed point.
+        changed = True
+        while changed:
+            changed = False
+            for dependent, prerequisite in self.registry.requires:
+                if dependent in enabled and prerequisite not in enabled:
+                    enabled.add(prerequisite)
+                    changed = True
+        # Resolve conflicts deterministically.
+        order = {name: index for index, name in enumerate(self.registry.flag_names())}
+        changed = True
+        while changed:
+            changed = False
+            for left, right in self.registry.conflicts:
+                if left in enabled and right in enabled:
+                    drop = left if order.get(left, 0) > order.get(right, 0) else right
+                    enabled.discard(drop)
+                    # Dropping a prerequisite may orphan dependents; drop them too.
+                    self._drop_dependents(enabled, drop)
+                    changed = True
+        repaired = FlagVector(self.registry, frozenset(enabled))
+        # Repair must terminate in a valid assignment.
+        assert self.is_valid(repaired), "constraint repair failed to converge"
+        return repaired
+
+    def _drop_dependents(self, enabled: Set[str], removed: str) -> None:
+        queue = [removed]
+        while queue:
+            current = queue.pop()
+            for dependent, prerequisite in self.registry.requires:
+                if prerequisite == current and dependent in enabled:
+                    enabled.discard(dependent)
+                    queue.append(dependent)
+
+    # -- convenience --------------------------------------------------------------
+
+    def sanitize_bits(self, bits: Iterable[int]) -> FlagVector:
+        """Decode a chromosome and repair it in one step."""
+        vector = FlagVector.from_bits(self.registry, list(bits))
+        return self.repair(vector)
+
+    def constraint_count(self) -> Tuple[int, int]:
+        return len(self.registry.requires), len(self.registry.conflicts)

@@ -1,0 +1,119 @@
+"""The tuning database.
+
+BinTuner's architecture (Fig. 4) stores every iteration — the flag selection,
+the fitness score and the produced binary's fingerprint — in a database shared
+between the search engine and the compiler interface so previously evaluated
+configurations are never recompiled.  An in-memory store with optional JSON
+persistence reproduces that role.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class IterationRecord:
+    """One evaluated configuration."""
+
+    iteration: int
+    flags: Tuple[str, ...]
+    fitness: float
+    code_size: int
+    fingerprint: str
+    elapsed_seconds: float
+    generation: int = 0
+    valid: bool = True
+
+    def flag_key(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.flags))
+
+
+@dataclass
+class TuningDatabase:
+    """Records every iteration of one tuning run."""
+
+    program: str = ""
+    compiler: str = ""
+    records: List[IterationRecord] = field(default_factory=list)
+    _by_flags: Dict[Tuple[str, ...], IterationRecord] = field(default_factory=dict, repr=False)
+    started_at: float = field(default_factory=time.time)
+
+    # -- insertion / lookup --------------------------------------------------------
+
+    def lookup(self, flags: Sequence[str]) -> Optional[IterationRecord]:
+        return self._by_flags.get(tuple(sorted(flags)))
+
+    def record(self, record: IterationRecord) -> None:
+        self.records.append(record)
+        self._by_flags[record.flag_key()] = record
+
+    # -- queries --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    def best(self) -> Optional[IterationRecord]:
+        if not self.records:
+            return None
+        return max(self.records, key=lambda r: (r.fitness, -r.iteration))
+
+    def best_fitness(self) -> float:
+        best = self.best()
+        return best.fitness if best else 0.0
+
+    def fitness_history(self) -> List[float]:
+        """Per-iteration best-so-far fitness (the curves of Figure 6)."""
+        history: List[float] = []
+        best = float("-inf")
+        for record in self.records:
+            best = max(best, record.fitness)
+            history.append(best)
+        return history
+
+    def raw_fitness_series(self) -> List[float]:
+        return [record.fitness for record in self.records]
+
+    def elapsed_hours(self) -> float:
+        return sum(record.elapsed_seconds for record in self.records) / 3600.0
+
+    def growth_rate(self, window: int = 20) -> float:
+        """Relative growth of best-so-far fitness over the last ``window`` records."""
+        history = self.fitness_history()
+        if len(history) <= window:
+            return float("inf")
+        previous = history[-window - 1]
+        current = history[-1]
+        if previous <= 0:
+            return float("inf") if current > previous else 0.0
+        return (current - previous) / previous
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "program": self.program,
+            "compiler": self.compiler,
+            "records": [asdict(record) for record in self.records],
+        }
+        return json.dumps(payload, indent=2)
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Path) -> "TuningDatabase":
+        payload = json.loads(Path(path).read_text())
+        database = cls(program=payload["program"], compiler=payload["compiler"])
+        for raw in payload["records"]:
+            raw["flags"] = tuple(raw["flags"])
+            database.record(IterationRecord(**raw))
+        return database

@@ -1,0 +1,86 @@
+"""Flag potency analysis (the paper's Figure 7).
+
+Given BinTuner's best flag sequence, the potency of each flag is approximated
+by the drop in BinHunt difference score when that flag is removed from the
+sequence (with constraint repair so dependents are removed alongside their
+prerequisites).  The drops are normalized to sum to 100%, exactly as in §5.3.
+The Jaccard index between the tuned flag set and ``-O3`` quantifies how much
+of the tuned sequence lies outside the default level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compilers.base import CompilationError, Compiler
+from repro.difftools.binhunt import BinHunt
+from repro.opt.flags import FlagVector
+from repro.tuner.constraints import ConstraintEngine
+
+
+@dataclass
+class FlagPotency:
+    """Potency report for one tuned flag sequence."""
+
+    program: str
+    compiler: str
+    #: flag -> normalized potency share (sums to ~1.0 over all flags)
+    shares: Dict[str, float]
+    base_score: float
+    jaccard_with_o3: float
+
+    def top(self, count: int = 10) -> List[Tuple[str, float]]:
+        ranked = sorted(self.shares.items(), key=lambda item: -item[1])
+        return ranked[:count]
+
+    def other_share(self, count: int = 10) -> float:
+        return max(0.0, 1.0 - sum(share for _, share in self.top(count)))
+
+
+def flag_potency(
+    compiler: Compiler,
+    source: str,
+    tuned_flags: FlagVector,
+    program_name: str = "program",
+    baseline_level: str = "O0",
+    max_flags: Optional[int] = None,
+) -> FlagPotency:
+    """Leave-one-flag-out potency of every flag in ``tuned_flags``."""
+    constraints = ConstraintEngine(compiler.registry)
+    binhunt = BinHunt()
+    baseline = compiler.compile_level(source, baseline_level, name=program_name).image
+    tuned_image = compiler.compile(source, tuned_flags, name=program_name).image
+    base_score = binhunt.difference(baseline, tuned_image)
+
+    drops: Dict[str, float] = {}
+    flags_to_probe = tuned_flags.sorted_names()
+    if max_flags is not None:
+        flags_to_probe = flags_to_probe[:max_flags]
+    for flag in flags_to_probe:
+        reduced = constraints.repair(tuned_flags.without(flag))
+        try:
+            image = compiler.compile(source, reduced, name=program_name).image
+            score = binhunt.difference(baseline, image)
+        except CompilationError:
+            score = base_score
+        drops[flag] = max(0.0, base_score - score)
+    total_drop = sum(drops.values())
+    if total_drop > 0:
+        shares = {flag: drop / total_drop for flag, drop in drops.items()}
+    else:
+        # No individual flag mattered on its own (pure interaction effects):
+        # spread the potency uniformly, which the paper notes can happen.
+        shares = {flag: 1.0 / len(drops) for flag in drops} if drops else {}
+    return FlagPotency(
+        program=program_name,
+        compiler=compiler.registry.compiler,
+        shares=shares,
+        base_score=base_score,
+        jaccard_with_o3=jaccard_with_level(compiler, tuned_flags, "O3"),
+    )
+
+
+def jaccard_with_level(compiler: Compiler, flags: FlagVector, level: str = "O3") -> float:
+    """Jaccard index between a flag vector and a default level's flag set."""
+    return flags.jaccard(compiler.preset(level))

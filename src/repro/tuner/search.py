@@ -1,0 +1,235 @@
+"""Metaheuristic search engines.
+
+The paper's rationale (§4.1) for a genetic algorithm is that flag combinations
+with optimal effect are rare but local minima are frequent, so biased random
+search beats pure hill climbing.  The GA here follows the appendix's Figure 9:
+chromosomes are flag bit-vectors, selection is fitness-proportional with
+elitism, then crossover, mutation and constraint repair produce the next
+generation.  Hill climbing and random search are provided as the baselines
+used in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.opt.flags import FlagRegistry, FlagVector
+from repro.tuner.constraints import ConstraintEngine
+
+#: A fitness evaluator: flag vector -> score (higher is better).  The tuner
+#: supplies one that compiles the program and measures NCD against O0.
+FitnessFunction = Callable[[FlagVector], float]
+
+
+class SearchObserver(Protocol):
+    """Callback invoked after every evaluation (used for NCD curves)."""
+
+    def __call__(self, iteration: int, flags: FlagVector, fitness: float) -> None: ...
+
+
+@dataclass
+class GAParameters:
+    """The four GA parameters BinTuner exposes (§4.1) plus population control."""
+
+    population_size: int = 24
+    mutation_rate: float = 0.08
+    crossover_rate: float = 0.8
+    must_mutate_count: int = 1
+    crossover_strength: float = 0.5
+    elite_count: int = 2
+    tournament_size: int = 3
+    seed: int = 20210620
+
+
+@dataclass
+class GeneticAlgorithm:
+    """Genetic search over flag vectors."""
+
+    registry: FlagRegistry
+    constraints: ConstraintEngine
+    parameters: GAParameters = field(default_factory=GAParameters)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.parameters.seed)
+
+    # -- population initialization ---------------------------------------------------
+
+    def _seed_population(self) -> List[FlagVector]:
+        presets = [self.registry.preset(level) for level in ("O1", "O2", "O3", "Os")
+                   if level in self.registry.presets]
+        population = [self.constraints.repair(preset) for preset in presets]
+        names = self.registry.flag_names()
+        while len(population) < self.parameters.population_size:
+            density = self._rng.uniform(0.2, 0.8)
+            bits = [1 if self._rng.random() < density else 0 for _ in names]
+            population.append(self.constraints.sanitize_bits(bits))
+        return population[: self.parameters.population_size]
+
+    # -- genetic operators --------------------------------------------------------------
+
+    def _crossover(self, mother: FlagVector, father: FlagVector) -> FlagVector:
+        if self._rng.random() > self.parameters.crossover_rate:
+            return mother
+        mother_bits = mother.to_bits()
+        father_bits = father.to_bits()
+        strength = self.parameters.crossover_strength
+        child_bits = [
+            m if self._rng.random() < strength else f
+            for m, f in zip(mother_bits, father_bits)
+        ]
+        return self.constraints.sanitize_bits(child_bits)
+
+    def _mutate(self, individual: FlagVector) -> FlagVector:
+        bits = individual.to_bits()
+        flipped = 0
+        for index in range(len(bits)):
+            if self._rng.random() < self.parameters.mutation_rate:
+                bits[index] ^= 1
+                flipped += 1
+        while flipped < self.parameters.must_mutate_count:
+            index = self._rng.randrange(len(bits))
+            bits[index] ^= 1
+            flipped += 1
+        return self.constraints.sanitize_bits(bits)
+
+    def _select(self, scored: List[Tuple[float, FlagVector]]) -> FlagVector:
+        contenders = [self._rng.choice(scored) for _ in range(self.parameters.tournament_size)]
+        return max(contenders, key=lambda item: item[0])[1]
+
+    # -- main loop -------------------------------------------------------------------------
+
+    def run(
+        self,
+        fitness: FitnessFunction,
+        max_iterations: int = 600,
+        target_growth_rate: float = 0.0035,
+        stall_window: int = 60,
+        observer: Optional[SearchObserver] = None,
+    ) -> Tuple[FlagVector, float, int]:
+        """Run the GA until a termination criterion fires.
+
+        Termination (appendix B): iteration budget exhausted, or the relative
+        growth of the best fitness over the last ``stall_window`` evaluations
+        drops below ``target_growth_rate``.
+        Returns (best flags, best fitness, evaluations used).
+        """
+        population = self._seed_population()
+        evaluations = 0
+        best_flags = population[0]
+        best_fitness = float("-inf")
+        history: List[float] = []
+        scored: List[Tuple[float, FlagVector]] = []
+
+        def evaluate(individual: FlagVector) -> float:
+            nonlocal evaluations, best_flags, best_fitness
+            score = fitness(individual)
+            evaluations += 1
+            if score > best_fitness:
+                best_fitness = score
+                best_flags = individual
+            history.append(best_fitness)
+            if observer is not None:
+                observer(evaluations, individual, score)
+            return score
+
+        for individual in population:
+            if evaluations >= max_iterations:
+                break
+            scored.append((evaluate(individual), individual))
+
+        while evaluations < max_iterations:
+            scored.sort(key=lambda item: -item[0])
+            elites = [individual for _, individual in scored[: self.parameters.elite_count]]
+            next_generation: List[FlagVector] = list(elites)
+            while len(next_generation) < self.parameters.population_size:
+                mother = self._select(scored)
+                father = self._select(scored)
+                child = self._mutate(self._crossover(mother, father))
+                next_generation.append(child)
+            scored = []
+            for individual in next_generation:
+                if evaluations >= max_iterations:
+                    break
+                scored.append((evaluate(individual), individual))
+            if self._stalled(history, stall_window, target_growth_rate):
+                break
+            if not scored:
+                break
+        return best_flags, best_fitness, evaluations
+
+    @staticmethod
+    def _stalled(history: Sequence[float], window: int, threshold: float) -> bool:
+        if len(history) <= window:
+            return False
+        previous = history[-window - 1]
+        current = history[-1]
+        if previous <= 0:
+            return current <= previous
+        return (current - previous) / previous < threshold
+
+
+@dataclass
+class HillClimber:
+    """Single-flag hill climbing baseline (local search)."""
+
+    registry: FlagRegistry
+    constraints: ConstraintEngine
+    seed: int = 7
+
+    def run(
+        self,
+        fitness: FitnessFunction,
+        max_iterations: int = 300,
+        observer: Optional[SearchObserver] = None,
+        start_level: str = "O2",
+    ) -> Tuple[FlagVector, float, int]:
+        rng = random.Random(self.seed)
+        current = self.constraints.repair(self.registry.preset(start_level))
+        current_fitness = fitness(current)
+        evaluations = 1
+        if observer is not None:
+            observer(evaluations, current, current_fitness)
+        names = self.registry.flag_names()
+        while evaluations < max_iterations:
+            name = rng.choice(names)
+            candidate = self.constraints.repair(current.with_flag(name, name not in current))
+            score = fitness(candidate)
+            evaluations += 1
+            if observer is not None:
+                observer(evaluations, candidate, score)
+            if score > current_fitness:
+                current, current_fitness = candidate, score
+        return current, current_fitness, evaluations
+
+
+@dataclass
+class RandomSearch:
+    """Uniform random sampling baseline."""
+
+    registry: FlagRegistry
+    constraints: ConstraintEngine
+    seed: int = 11
+
+    def run(
+        self,
+        fitness: FitnessFunction,
+        max_iterations: int = 300,
+        observer: Optional[SearchObserver] = None,
+    ) -> Tuple[FlagVector, float, int]:
+        rng = random.Random(self.seed)
+        names = self.registry.flag_names()
+        best: Optional[FlagVector] = None
+        best_fitness = float("-inf")
+        for iteration in range(1, max_iterations + 1):
+            density = rng.uniform(0.1, 0.9)
+            bits = [1 if rng.random() < density else 0 for _ in names]
+            candidate = self.constraints.sanitize_bits(bits)
+            score = fitness(candidate)
+            if observer is not None:
+                observer(iteration, candidate, score)
+            if score > best_fitness:
+                best, best_fitness = candidate, score
+        assert best is not None
+        return best, best_fitness, max_iterations

@@ -1,0 +1,248 @@
+"""The BinTuner orchestrator.
+
+Wires together the pieces of Figure 4: the build-spec analyzer, the compiler
+interface, the constraint engine, the fitness function (NCD against the O0
+baseline by default, BinHunt score optionally) and the genetic-algorithm
+search, recording every iteration in the tuning database and returning the
+best configuration plus its binary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.emulator import EmulationError, run_program
+from repro.backend.binary import BinaryImage
+from repro.compilers.base import CompilationError, Compiler
+from repro.difftools.binhunt import BinHunt
+from repro.difftools.ncd import NCDFitness
+from repro.opt.flags import FlagVector
+from repro.tuner.constraints import ConstraintEngine
+from repro.tuner.database import IterationRecord, TuningDatabase
+from repro.tuner.search import GAParameters, GeneticAlgorithm, HillClimber, RandomSearch
+
+
+@dataclass
+class BuildSpec:
+    """The "makefile analyzer" output: everything needed to build one target.
+
+    The real BinTuner drives ``scan-build`` over a project's makefile to learn
+    source files, configuration and the initial optimization flags; mini-C
+    programs are single translation units, so the spec carries the source
+    text, the program name, the workload arguments used for functional-
+    correctness checks, and any flags the original build system requested.
+    """
+
+    name: str
+    source: str
+    arguments: Sequence[int] = ()
+    inputs: Sequence[int] = ()
+    initial_flags: Sequence[str] = ()
+    check_output: bool = True
+
+    @classmethod
+    def from_source(cls, name: str, source: str, **kwargs) -> "BuildSpec":
+        return cls(name=name, source=source, **kwargs)
+
+
+@dataclass
+class BinHuntFitness:
+    """The expensive fitness alternative (§4.2 'Challenges').
+
+    Measures the BinHunt difference score against the baseline.  Used by the
+    fitness-function ablation bench; it is orders of magnitude slower than
+    NCD, which is exactly the trade-off the paper quantifies.
+    """
+
+    baseline: BinaryImage
+
+    def __post_init__(self) -> None:
+        self._binhunt = BinHunt()
+
+    def __call__(self, candidate: BinaryImage) -> float:
+        return self._binhunt.difference(self.baseline, candidate)
+
+    def name(self) -> str:
+        return "binhunt"
+
+
+@dataclass
+class BinTunerConfig:
+    """Knobs of one tuning run."""
+
+    max_iterations: int = 400
+    target_growth_rate: float = 0.0035
+    stall_window: int = 60
+    ga: GAParameters = field(default_factory=GAParameters)
+    search_strategy: str = "genetic"  # "genetic" | "hillclimb" | "random"
+    fitness_kind: str = "ncd"  # "ncd" | "binhunt"
+    compressor: str = "lzma"
+    require_functional_correctness: bool = True
+    invalid_fitness: float = -1.0
+    max_emulation_steps: int = 2_000_000
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one BinTuner run."""
+
+    program: str
+    compiler: str
+    best_flags: FlagVector
+    best_fitness: float
+    best_image: BinaryImage
+    iterations: int
+    elapsed_seconds: float
+    database: TuningDatabase
+    baseline_image: BinaryImage
+
+    def ncd_history(self) -> List[float]:
+        return self.database.fitness_history()
+
+
+class BinTuner:
+    """Auto-tunes compiler flags to maximize binary code difference."""
+
+    def __init__(
+        self,
+        compiler: Compiler,
+        spec: BuildSpec,
+        config: Optional[BinTunerConfig] = None,
+    ) -> None:
+        self.compiler = compiler
+        self.spec = spec
+        self.config = config or BinTunerConfig()
+        self.constraints = ConstraintEngine(compiler.registry)
+        self.database = TuningDatabase(program=spec.name, compiler=compiler.registry.compiler)
+        self._baseline: Optional[BinaryImage] = None
+        self._baseline_behaviour = None
+        self._fitness_callable: Optional[Callable[[BinaryImage], float]] = None
+        self._generation = 0
+
+    # -- baseline -------------------------------------------------------------------
+
+    def baseline_image(self) -> BinaryImage:
+        """The O0 build every candidate is measured against (§5.1)."""
+        if self._baseline is None:
+            result = self.compiler.compile_level(self.spec.source, "O0", name=self.spec.name)
+            self._baseline = result.image
+            if self.config.require_functional_correctness and self.spec.check_output:
+                self._baseline_behaviour = self._behaviour(self._baseline)
+        return self._baseline
+
+    def _behaviour(self, image: BinaryImage):
+        result = run_program(
+            image,
+            args=self.spec.arguments,
+            inputs=self.spec.inputs,
+            max_steps=self.config.max_emulation_steps,
+        )
+        return result.observable_state()
+
+    def _make_fitness(self) -> Callable[[BinaryImage], float]:
+        if self._fitness_callable is None:
+            baseline = self.baseline_image()
+            if self.config.fitness_kind == "binhunt":
+                self._fitness_callable = BinHuntFitness(baseline)
+            else:
+                self._fitness_callable = NCDFitness(baseline, compressor=self.config.compressor)
+        return self._fitness_callable
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate(self, flags: FlagVector) -> float:
+        """Compile with ``flags`` and return the fitness score (cached)."""
+        cached = self.database.lookup(flags.sorted_names())
+        if cached is not None:
+            return cached.fitness
+        fitness_fn = self._make_fitness()
+        started = time.perf_counter()
+        valid = True
+        try:
+            flags = self.constraints.check(flags)
+            compiled = self.compiler.compile(self.spec.source, flags, name=self.spec.name)
+            image = compiled.image
+            if self.config.require_functional_correctness and self.spec.check_output:
+                if self._behaviour(image) != self._baseline_behaviour:
+                    raise CompilationError("tuned binary changed observable behaviour")
+            score = fitness_fn(image)
+            code_size = image.code_size()
+            fingerprint = image.fingerprint()
+        except (CompilationError, EmulationError, Exception) as exc:  # noqa: BLE001
+            # A conflicting flag set or a miscompiled binary scores the
+            # configured penalty, exactly like a failed compilation iteration.
+            score = self.config.invalid_fitness
+            code_size = 0
+            fingerprint = "invalid"
+            valid = False
+        self.database.record(
+            IterationRecord(
+                iteration=len(self.database) + 1,
+                flags=tuple(flags.sorted_names()),
+                fitness=score,
+                code_size=code_size,
+                fingerprint=fingerprint,
+                elapsed_seconds=time.perf_counter() - started,
+                generation=self._generation,
+                valid=valid,
+            )
+        )
+        return score
+
+    # -- search -----------------------------------------------------------------------
+
+    def _build_search(self):
+        if self.config.search_strategy == "hillclimb":
+            return HillClimber(self.compiler.registry, self.constraints)
+        if self.config.search_strategy == "random":
+            return RandomSearch(self.compiler.registry, self.constraints)
+        return GeneticAlgorithm(self.compiler.registry, self.constraints, self.config.ga)
+
+    def run(self, observer=None) -> TuningResult:
+        """Run the full tuning loop and return the best configuration found."""
+        started = time.perf_counter()
+        baseline = self.baseline_image()
+        search = self._build_search()
+        if isinstance(search, GeneticAlgorithm):
+            best_flags, best_fitness, evaluations = search.run(
+                self.evaluate,
+                max_iterations=self.config.max_iterations,
+                target_growth_rate=self.config.target_growth_rate,
+                stall_window=self.config.stall_window,
+                observer=observer,
+            )
+        else:
+            best_flags, best_fitness, evaluations = search.run(
+                self.evaluate,
+                max_iterations=self.config.max_iterations,
+                observer=observer,
+            )
+        best_image = self.compiler.compile(self.spec.source, best_flags, name=self.spec.name).image
+        return TuningResult(
+            program=self.spec.name,
+            compiler=self.compiler.registry.compiler,
+            best_flags=best_flags,
+            best_fitness=best_fitness,
+            best_image=best_image,
+            # The paper counts *compilation* iterations; repeated evaluations of
+            # an already-seen flag vector hit the database and do not recompile.
+            iterations=len(self.database),
+            elapsed_seconds=time.perf_counter() - started,
+            database=self.database,
+            baseline_image=baseline,
+        )
+
+    # -- convenience -------------------------------------------------------------------
+
+    def compare_levels(self, levels: Sequence[str] = ("O1", "O2", "O3", "Os")) -> Dict[str, float]:
+        """Fitness (difference from O0) of the default -Ox levels."""
+        out: Dict[str, float] = {}
+        fitness_fn = self._make_fitness()
+        for level in levels:
+            if level not in self.compiler.registry.presets:
+                continue
+            image = self.compiler.compile_level(self.spec.source, level, name=self.spec.name).image
+            out[level] = fitness_fn(image)
+        return out

@@ -1,0 +1,35 @@
+"""Benchmark workload corpus.
+
+The paper evaluates on SPEC CPU2006/CPU2017 integer benchmarks, Coreutils and
+OpenSSL.  Those sources cannot be shipped or compiled here, so the corpus
+contains one mini-C program per paper benchmark, written/generated to stress
+the same code shapes the real benchmark stresses (see DESIGN.md §1):
+tight numeric kernels for 462.libquantum, pointer/array chasing for 429.mcf,
+huge switch dispatch for 445.gobmk, utility command dispatch for Coreutils,
+block-cipher style bit mixing for OpenSSL, and so on.  Each workload also
+carries the arguments used for the functional-correctness check.
+"""
+
+from repro.workloads.programs import (
+    WorkloadProgram,
+    generate_program,
+    PROGRAM_BUILDERS,
+)
+from repro.workloads.suites import (
+    SUITES,
+    BENCHMARKS,
+    benchmark,
+    suite_benchmarks,
+    all_benchmarks,
+)
+
+__all__ = [
+    "WorkloadProgram",
+    "generate_program",
+    "PROGRAM_BUILDERS",
+    "SUITES",
+    "BENCHMARKS",
+    "benchmark",
+    "suite_benchmarks",
+    "all_benchmarks",
+]

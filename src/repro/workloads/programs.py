@@ -1,0 +1,291 @@
+"""Mini-C workload programs and the parametric program generator.
+
+Each builder returns a :class:`WorkloadProgram` whose source text stresses a
+particular mix of code shapes.  The generator composes reusable source
+fragments (numeric kernels, switch dispatchers, string utilities, recursive
+search, crypto-style mixing) with a per-benchmark seed so every benchmark in
+the corpus is a *different* program that nevertheless exercises every part of
+the compiler — which is what makes the tuned flag sequences program-specific,
+as the paper observes in §5.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+
+@dataclass
+class WorkloadProgram:
+    """A compilable workload: source plus the inputs used for behaviour checks."""
+
+    name: str
+    source: str
+    arguments: Sequence[int] = ()
+    inputs: Sequence[int] = ()
+    description: str = ""
+    category: str = "generic"
+
+    def line_count(self) -> int:
+        return self.source.count("\n") + 1
+
+
+# ---------------------------------------------------------------------------
+# Reusable source fragments
+# ---------------------------------------------------------------------------
+
+
+def _numeric_kernel(rng: random.Random, index: int) -> str:
+    """A libquantum-style kernel: array products, factor loops, reductions."""
+    size = rng.choice([48, 64, 96])
+    scale = rng.randrange(3, 23)
+    return f"""
+int nk_a{index}[{size}];
+int nk_b{index}[{size}];
+int nk_c{index}[{size}];
+int numeric_kernel{index}(int n) {{
+  int i;
+  for (i = 0; i < n; i++) {{ nk_a{index}[i] = (i * {scale}) % 251; nk_b{index}[i] = (i * {scale + 7}) % 241; }}
+  for (i = 0; i < n; i++) {{ nk_c{index}[i] = nk_a{index}[i] * nk_b{index}[i]; }}
+  int acc = 0;
+  for (i = 0; i < n; i++) {{ acc += nk_c{index}[i] / {rng.choice([3, 5, 7, 255])}; }}
+  for (i = 1; i < n; i++) {{ nk_c{index}[i] = nk_c{index}[i] + nk_c{index}[i - 1]; }}
+  return acc + nk_c{index}[n - 1];
+}}
+"""
+
+
+def _switch_dispatcher(rng: random.Random, index: int) -> str:
+    """A gobmk/coreutils-style dense + sparse switch dispatcher."""
+    dense_cases = "\n".join(
+        f"    case {value}: total += {rng.randrange(1, 90)}; break;" for value in range(rng.randrange(6, 12))
+    )
+    sparse_values = sorted(rng.sample(range(100, 4000), rng.randrange(5, 9)))
+    sparse_cases = "\n".join(
+        f"    case {value}: total -= {rng.randrange(1, 50)}; break;" for value in sparse_values
+    )
+    return f"""
+int dispatch{index}(int op, int total) {{
+  switch (op) {{
+{dense_cases}
+    default: total += 1;
+  }}
+  switch (op * 17 % 4096) {{
+{sparse_cases}
+    default: total -= 1;
+  }}
+  return total;
+}}
+"""
+
+
+def _string_utility(rng: random.Random, index: int) -> str:
+    """A coreutils-style buffer/string manipulation routine."""
+    length = rng.choice([16, 24, 32])
+    return f"""
+int su_buf{index}[{length + 8}];
+int string_utility{index}(int seed) {{
+  int i;
+  strcpy(su_buf{index}, "workload-{index}");
+  int len = strlen(su_buf{index});
+  for (i = 0; i < {length}; i++) {{
+    su_buf{index}[i] = ((seed + i * {rng.randrange(3, 17)}) % 26) + 97;
+  }}
+  su_buf{index}[{length}] = 0;
+  int hash = 5381;
+  for (i = 0; i < {length}; i++) {{ hash = hash * 33 + su_buf{index}[i]; hash = hash % 1000003; }}
+  return hash + len;
+}}
+"""
+
+
+def _recursive_search(rng: random.Random, index: int) -> str:
+    """An mcf/gobmk-style recursive exploration with memo table."""
+    depth = rng.choice([10, 12, 14])
+    return f"""
+int memo{index}[64];
+int explore{index}(int n) {{
+  if (n < 2) return n;
+  if (n < 64 && memo{index}[n] != 0) return memo{index}[n];
+  int result = explore{index}(n - 1) + explore{index}(n - 2) % 9973;
+  if (n < 64) memo{index}[n] = result;
+  return result;
+}}
+int search_driver{index}(int limit) {{
+  int i; int acc = 0;
+  for (i = 1; i < limit && i < {depth}; i++) {{ acc += explore{index}(i) % 127; }}
+  return acc;
+}}
+"""
+
+
+def _crypto_mixer(rng: random.Random, index: int) -> str:
+    """An OpenSSL-style ARX (add/rotate/xor) block mixer."""
+    rounds = rng.choice([8, 12, 16])
+    k1, k2, k3 = (rng.randrange(1, 1 << 15) for _ in range(3))
+    return f"""
+int ct_state{index}[16];
+int crypto_mix{index}(int seed) {{
+  int i; int r;
+  for (i = 0; i < 16; i++) ct_state{index}[i] = seed + i * {k1};
+  for (r = 0; r < {rounds}; r++) {{
+    for (i = 0; i < 16; i++) {{
+      int x = ct_state{index}[i];
+      x = x ^ (x << 3); x = x + {k2}; x = x ^ (x >> 5); x = x * {k3 | 1};
+      ct_state{index}[i] = x & 0xffffff;
+      ct_state{index}[(i + 1) % 16] = ct_state{index}[(i + 1) % 16] ^ x;
+    }}
+  }}
+  int digest = 0;
+  for (i = 0; i < 16; i++) digest = (digest + ct_state{index}[i]) % 100000007;
+  return digest;
+}}
+"""
+
+
+def _branchy_logic(rng: random.Random, index: int) -> str:
+    """bzip2/x264-style branchy decision code with ternaries and short-circuits."""
+    threshold_a = rng.randrange(10, 200)
+    threshold_b = rng.randrange(5, 100)
+    return f"""
+int decide{index}(int a, int b, int c) {{
+  int verdict = 0;
+  if (a > {threshold_a} && b < {threshold_b}) verdict = a - b;
+  else if (a < b || c > {threshold_a}) verdict = b - a;
+  else verdict = (c % 2 == 0) ? c / 2 : 3 * c + 1;
+  int bonus = (verdict > 0) ? 1 : -1;
+  while (verdict > {threshold_b}) {{ verdict = verdict / 2 + bonus; }}
+  return verdict + bonus;
+}}
+"""
+
+
+_FRAGMENTS: List[Callable[[random.Random, int], str]] = [
+    _numeric_kernel,
+    _switch_dispatcher,
+    _string_utility,
+    _recursive_search,
+    _crypto_mixer,
+    _branchy_logic,
+]
+
+_FRAGMENT_CALLS = {
+    "_numeric_kernel": "numeric_kernel{i}(40)",
+    "_switch_dispatcher": "dispatch{i}(step * 3 + 1, acc)",
+    "_string_utility": "string_utility{i}(step)",
+    "_recursive_search": "search_driver{i}(11)",
+    "_crypto_mixer": "crypto_mix{i}(step + 13)",
+    "_branchy_logic": "decide{i}(step * 7, step * 5 % 97, step)",
+}
+
+
+def generate_program(
+    name: str,
+    seed: int,
+    emphasis: Sequence[str] = (),
+    fragment_count: int = 5,
+    steps: int = 12,
+    category: str = "generic",
+    description: str = "",
+) -> WorkloadProgram:
+    """Generate a workload program.
+
+    ``emphasis`` lists fragment kinds (by function name, e.g.
+    ``"_numeric_kernel"``) that should appear more often, steering the
+    program toward the character of the corresponding real benchmark.
+    """
+    rng = random.Random(seed)
+    weighted: List[Callable[[random.Random, int], str]] = []
+    for fragment in _FRAGMENTS:
+        weight = 3 if fragment.__name__ in emphasis else 1
+        weighted.extend([fragment] * weight)
+    chosen = [rng.choice(weighted) for _ in range(fragment_count)]
+    pieces: List[str] = []
+    calls: List[str] = []
+    for index, fragment in enumerate(chosen):
+        pieces.append(fragment(rng, index))
+        calls.append(_FRAGMENT_CALLS[fragment.__name__].format(i=index))
+    body_calls = "\n".join(f"    acc = (acc + {call}) % 1000000007;" for call in calls)
+    main = f"""
+int main() {{
+  int acc = 0;
+  int step;
+  for (step = 0; step < {steps}; step++) {{
+{body_calls}
+  }}
+  print_int(acc);
+  return acc % 199;
+}}
+"""
+    source = "\n".join(pieces) + main
+    return WorkloadProgram(
+        name=name,
+        source=source,
+        description=description or f"generated workload ({', '.join(e.strip('_') for e in emphasis) or 'mixed'})",
+        category=category,
+    )
+
+
+#: Builders keyed by paper benchmark name; see :mod:`repro.workloads.suites`
+#: for how they are grouped into SPEC/Coreutils/OpenSSL suites.
+PROGRAM_BUILDERS: Dict[str, Callable[[], WorkloadProgram]] = {}
+
+
+def _register(name: str, seed: int, emphasis: Sequence[str], category: str,
+              description: str, fragment_count: int = 5, steps: int = 12) -> None:
+    PROGRAM_BUILDERS[name] = lambda: generate_program(
+        name, seed, emphasis, fragment_count=fragment_count, steps=steps,
+        category=category, description=description,
+    )
+
+
+# SPECint 2006 stand-ins.
+_register("400.perlbench", 400, ("_switch_dispatcher", "_string_utility"), "spec2006",
+          "interpreter-style dispatch plus string handling", 6)
+_register("401.bzip2", 401, ("_branchy_logic", "_numeric_kernel"), "spec2006",
+          "compression-style branchy numeric code")
+_register("429.mcf", 429, ("_recursive_search", "_branchy_logic"), "spec2006",
+          "combinatorial optimization with pointer-ish traversal", 4, 10)
+_register("445.gobmk", 445, ("_switch_dispatcher", "_recursive_search"), "spec2006",
+          "game engine: huge dispatch tables and recursive search", 6)
+_register("456.hmmer", 456, ("_numeric_kernel",), "spec2006",
+          "profile HMM dynamic-programming kernels")
+_register("458.sjeng", 458, ("_recursive_search", "_switch_dispatcher"), "spec2006",
+          "chess search with move dispatch")
+_register("462.libquantum", 462, ("_numeric_kernel", "_crypto_mixer"), "spec2006",
+          "quantum simulation: factorization and vectorizable array products", 5, 14)
+_register("464.h264ref", 464, ("_numeric_kernel", "_branchy_logic"), "spec2006",
+          "video encoding: block transforms and mode decisions", 6)
+_register("471.omnetpp", 471, ("_switch_dispatcher", "_string_utility"), "spec2006",
+          "discrete event simulation dispatch")
+_register("473.astar", 473, ("_recursive_search", "_numeric_kernel"), "spec2006",
+          "path-finding over grids", 4)
+_register("483.xalancbmk", 483, ("_string_utility", "_switch_dispatcher"), "spec2006",
+          "XML transformation: string and dispatch heavy", 7)
+
+# SPECspeed 2017 stand-ins.
+_register("600.perlbench_s", 600, ("_switch_dispatcher", "_string_utility"), "spec2017",
+          "perl interpreter workloads", 7)
+_register("605.mcf_s", 605, ("_recursive_search", "_branchy_logic"), "spec2017",
+          "vehicle scheduling network simplex", 4, 10)
+_register("620.omnetpp_s", 620, ("_switch_dispatcher", "_string_utility"), "spec2017",
+          "discrete event simulation", 6)
+_register("623.xalancbmk_s", 623, ("_string_utility", "_switch_dispatcher"), "spec2017",
+          "XSLT processor", 7)
+_register("625.x264_s", 625, ("_numeric_kernel", "_branchy_logic"), "spec2017",
+          "video encoder", 6)
+_register("631.deepsjeng_s", 631, ("_recursive_search",), "spec2017",
+          "alpha-beta tree search")
+_register("641.leela_s", 641, ("_recursive_search", "_numeric_kernel"), "spec2017",
+          "go engine with Monte-Carlo style search")
+_register("648.exchange2_s", 648, ("_branchy_logic", "_recursive_search"), "spec2017",
+          "puzzle generator")
+_register("657.xz_s", 657, ("_branchy_logic", "_numeric_kernel"), "spec2017",
+          "LZMA-style compression", 6)
+
+# Utility suites.
+_register("coreutils", 830, ("_string_utility", "_switch_dispatcher", "_branchy_logic"), "utils",
+          "95 utilities statically linked into one binary (option dispatch + string code)", 8, 16)
+_register("openssl", 111, ("_crypto_mixer", "_numeric_kernel"), "utils",
+          "libcrypto-style cipher and big-number kernels", 7, 16)

@@ -1,0 +1,78 @@
+"""Benchmark suite registry.
+
+Groups the workload corpus into the suites the paper reports on (Table 1,
+Figure 5): SPECint 2006, SPECspeed 2017 Integer, Coreutils and OpenSSL.  The
+paper drops five benchmarks with build errors (§5, footnote 2); the corpus
+mirrors the per-compiler suite membership after those exclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.programs import PROGRAM_BUILDERS, WorkloadProgram
+
+#: Suite name -> benchmark names (paper's dataset, §5 "Dataset").
+SUITES: Dict[str, List[str]] = {
+    "spec2006": [
+        "400.perlbench",
+        "401.bzip2",
+        "429.mcf",
+        "445.gobmk",
+        "456.hmmer",
+        "458.sjeng",
+        "462.libquantum",
+        "464.h264ref",
+        "471.omnetpp",
+        "473.astar",
+        "483.xalancbmk",
+    ],
+    "spec2017": [
+        "600.perlbench_s",
+        "605.mcf_s",
+        "620.omnetpp_s",
+        "623.xalancbmk_s",
+        "625.x264_s",
+        "631.deepsjeng_s",
+        "641.leela_s",
+        "648.exchange2_s",
+        "657.xz_s",
+    ],
+    "coreutils": ["coreutils"],
+    "openssl": ["openssl"],
+}
+
+#: Benchmarks excluded per compiler because of build errors in the paper.
+EXCLUDED: Dict[str, List[str]] = {
+    "llvm": ["471.omnetpp"],
+    "gcc": ["401.bzip2", "464.h264ref"],
+}
+
+BENCHMARKS: List[str] = [name for names in SUITES.values() for name in names]
+
+_CACHE: Dict[str, WorkloadProgram] = {}
+
+
+def benchmark(name: str) -> WorkloadProgram:
+    """Build (and cache) the workload program for a benchmark name."""
+    if name not in PROGRAM_BUILDERS:
+        raise KeyError(f"unknown benchmark {name!r}")
+    if name not in _CACHE:
+        _CACHE[name] = PROGRAM_BUILDERS[name]()
+    return _CACHE[name]
+
+
+def suite_benchmarks(suite: str, compiler_family: str = "") -> List[WorkloadProgram]:
+    """All workload programs of a suite, honouring per-compiler exclusions."""
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}")
+    excluded = set(EXCLUDED.get(compiler_family, []))
+    return [benchmark(name) for name in SUITES[suite] if name not in excluded]
+
+
+def all_benchmarks(compiler_family: str = "") -> List[WorkloadProgram]:
+    """The whole corpus for one compiler family."""
+    out: List[WorkloadProgram] = []
+    for suite in SUITES:
+        out.extend(suite_benchmarks(suite, compiler_family))
+    return out

@@ -1,0 +1,114 @@
+"""Shared fixtures.
+
+Compilation is the expensive operation, so compiled images and recovered
+programs are session-scoped and reused across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compilers import SimGCC, SimLLVM
+from repro.minic import analyze, parse_program
+from repro.ir import build_module
+
+#: A small but representative program: globals, arrays, loops, switch,
+#: recursion, short-circuit logic, ternary, builtins, strings.
+SAMPLE_SOURCE = """
+int table[32];
+int primes[8] = {2, 3, 5, 7, 11, 13, 17, 19};
+int buffer[16];
+
+int square(int x) { return x * x; }
+
+int classify(int x) {
+  switch (x) {
+    case 0: return 1;
+    case 1: return 10;
+    case 2: return 20;
+    case 3: return 30;
+    case 4: return 40;
+    case 7: return 70;
+    default: return -1;
+  }
+}
+
+int sum_to(int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i++) { s += i * 3; }
+  return s;
+}
+
+int scale(int a[], int b[], int n) {
+  int i;
+  for (i = 0; i < n; i++) { buffer[i] = a[i] * b[i]; }
+  int acc = 0;
+  for (i = 0; i < n; i++) acc += buffer[i];
+  return acc;
+}
+
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+
+int main() {
+  int i;
+  for (i = 0; i < 32; i++) { table[i] = (i * 7) % 19 - 4; }
+  int acc = scale(table, primes, 8);
+  acc += sum_to(15);
+  acc += fib(10);
+  for (i = 0; i < 8; i++) acc += classify(i) + square(i);
+  int mode = (acc > 100 && acc % 2 == 0) ? 3 : (acc < 0 ? 1 : 2);
+  print_int(acc);
+  print_int(mode);
+  strcpy(buffer, "ok");
+  print_str(buffer);
+  return acc % 127;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_source() -> str:
+    return SAMPLE_SOURCE
+
+
+@pytest.fixture(scope="session")
+def sample_program(sample_source):
+    return parse_program(sample_source, name="sample")
+
+
+@pytest.fixture(scope="session")
+def sample_info(sample_program):
+    return analyze(sample_program)
+
+
+@pytest.fixture(scope="session")
+def sample_module(sample_program, sample_info):
+    return build_module(sample_program, sample_info)
+
+
+@pytest.fixture(scope="session")
+def gcc():
+    return SimGCC()
+
+
+@pytest.fixture(scope="session")
+def llvm():
+    return SimLLVM()
+
+
+@pytest.fixture(scope="session")
+def sample_images_llvm(llvm, sample_source):
+    """O0..O3/Os images of the sample program under SimLLVM."""
+    return {
+        level: llvm.compile_level(sample_source, level, name="sample").image
+        for level in ("O0", "O1", "O2", "O3", "Os")
+    }
+
+
+@pytest.fixture(scope="session")
+def sample_images_gcc(gcc, sample_source):
+    return {
+        level: gcc.compile_level(sample_source, level, name="sample").image
+        for level in ("O0", "O1", "O2", "O3", "Os")
+    }

@@ -1,0 +1,168 @@
+"""Tests for NCD, BinHunt, the Figure-8 diffing tools and the metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import disassemble
+from repro.difftools import (
+    ALL_TOOLS,
+    Asm2Vec,
+    BinDiffMatcher,
+    BinHunt,
+    BinSlayer,
+    CoP,
+    IMFSim,
+    InnerEye,
+    MultiMH,
+    VulSeeker,
+    compressed_size,
+    make_tool,
+    matched_ratios,
+    ncd,
+    ncd_images,
+    precision_at_1,
+)
+from repro.difftools.metrics import precision_at_k
+
+
+class TestNCD:
+    def test_identical_data_scores_zero(self):
+        data = b"the same bytes" * 50
+        assert ncd(data, data) < 0.1
+
+    def test_unrelated_data_scores_high(self):
+        import os
+        import random
+
+        rng = random.Random(1)
+        a = bytes(rng.randrange(256) for _ in range(4096))
+        b = bytes(rng.randrange(256) for _ in range(4096))
+        assert ncd(a, b) > 0.9
+
+    def test_bounds(self):
+        assert 0.0 <= ncd(b"aaa" * 100, b"aab" * 100) <= 1.0
+
+    def test_empty_inputs(self):
+        assert ncd(b"", b"") == 0.0
+
+    def test_all_compressors_available(self):
+        data = b"x" * 1000
+        for compressor in ("lzma", "zlib", "bz2"):
+            assert compressed_size(data, compressor) < len(data)
+
+    def test_unknown_compressor_rejected(self):
+        with pytest.raises(ValueError):
+            compressed_size(b"x", "zip9000")
+
+    def test_image_ncd_orders_optimization_levels(self, sample_images_llvm):
+        o0 = sample_images_llvm["O0"]
+        assert ncd_images(o0, o0) < 0.1
+        o1 = ncd_images(o0, sample_images_llvm["O1"])
+        o3 = ncd_images(o0, sample_images_llvm["O3"])
+        assert 0.0 < o1 <= 1.0 and 0.0 < o3 <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=300), st.binary(min_size=0, max_size=300))
+    def test_ncd_always_within_bounds(self, a, b):
+        assert 0.0 <= ncd(a, b, "zlib") <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=300))
+    def test_ncd_symmetric_enough(self, data):
+        assert abs(ncd(data, data[::-1], "zlib") - ncd(data[::-1], data, "zlib")) < 0.2
+
+
+class TestBinHunt:
+    def test_identical_images_score_near_zero(self, sample_images_llvm):
+        binhunt = BinHunt()
+        assert binhunt.difference(sample_images_llvm["O2"], sample_images_llvm["O2"]) < 0.05
+
+    def test_difference_increases_with_optimization_distance(self, sample_images_llvm):
+        binhunt = BinHunt()
+        o0 = sample_images_llvm["O0"]
+        o1 = binhunt.difference(o0, sample_images_llvm["O1"])
+        o3 = binhunt.difference(o0, sample_images_llvm["O3"])
+        assert 0.0 < o1 < 1.0
+        assert o3 >= o1 - 0.05
+
+    def test_score_in_unit_interval(self, sample_images_llvm, sample_images_gcc):
+        binhunt = BinHunt()
+        score = binhunt.difference(sample_images_llvm["O0"], sample_images_gcc["O3"])
+        assert 0.0 <= score <= 1.0
+
+    def test_result_counts_are_consistent(self, sample_images_llvm):
+        binhunt = BinHunt()
+        result = binhunt.compare(sample_images_llvm["O0"], sample_images_llvm["O2"])
+        assert result.matched_blocks <= min(result.total_blocks)
+        assert result.matched_functions <= min(result.total_functions)
+        assert 0.0 <= result.call_graph_score <= 1.0
+
+    def test_matched_ratios_extraction(self, sample_images_llvm):
+        binhunt = BinHunt()
+        ratios = matched_ratios(binhunt.compare(sample_images_llvm["O0"], sample_images_llvm["O3"]))
+        assert 0.0 <= ratios.block_ratio <= 1.0
+        assert "/" in ratios.as_tuple_text()
+
+    def test_wrong_pair_comparison_is_more_different(self, sample_images_llvm, llvm):
+        """Comparing unrelated programs should look at least as different as
+        comparing two builds of the same program (the paper's Coreutils vs
+        OpenSSL observation)."""
+        other_source = """
+        int acc_data[16];
+        int mix(int x) { return (x * 31 + 7) % 1009; }
+        int main() { int i; int s = 0; for (i = 0; i < 16; i++) { acc_data[i] = mix(i); s += acc_data[i]; } print_int(s); return s % 97; }
+        """
+        other = llvm.compile_level(other_source, "O2", name="other").image
+        binhunt = BinHunt()
+        same_program = binhunt.difference(sample_images_llvm["O0"], sample_images_llvm["O1"])
+        wrong_pair = binhunt.difference(sample_images_llvm["O0"], other)
+        assert wrong_pair >= same_program - 0.1
+
+
+class TestTools:
+    def test_factory_covers_all_tools(self):
+        for name in ALL_TOOLS:
+            assert make_tool(name).name
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(ValueError):
+            make_tool("ghidra")
+
+    @pytest.mark.parametrize("tool_class", [BinDiffMatcher, BinSlayer, Asm2Vec, InnerEye, VulSeeker, CoP, MultiMH])
+    def test_self_comparison_is_perfect(self, tool_class, sample_images_llvm):
+        tool = tool_class()
+        program = disassemble(sample_images_llvm["O2"])
+        result = tool.compare_programs(program, program)
+        assert precision_at_1(result) == 1.0
+
+    @pytest.mark.parametrize("tool_class", [BinDiffMatcher, Asm2Vec, VulSeeker, CoP, MultiMH, BinSlayer])
+    def test_scores_bounded(self, tool_class, sample_images_llvm):
+        tool = tool_class()
+        result = tool.compare(sample_images_llvm["O0"], sample_images_llvm["O2"])
+        for candidates in result.rankings.values():
+            for _, score in candidates:
+                assert 0.0 <= score <= 1.0 + 1e-9
+
+    def test_precision_degrades_from_o1_to_o3(self, sample_images_llvm):
+        """At least the structural tools should find O3 harder than O1."""
+        o0 = disassemble(sample_images_llvm["O0"])
+        o1 = disassemble(sample_images_llvm["O1"])
+        o3 = disassemble(sample_images_llvm["O3"])
+        drops = 0
+        for tool_class in (BinSlayer, CoP, MultiMH, InnerEye):
+            tool = tool_class()
+            p1 = precision_at_1(tool.compare_programs(o0, o1))
+            p3 = precision_at_1(tool.compare_programs(o0, o3))
+            if p3 <= p1:
+                drops += 1
+        assert drops >= 2
+
+    def test_imfsim_matches_behaviourally_identical_functions(self, sample_images_llvm):
+        tool = IMFSim(samples=4)
+        result = tool.compare(sample_images_llvm["O1"], sample_images_llvm["O2"])
+        assert result.top_match("fib") == "fib"
+
+    def test_precision_at_k_is_not_below_precision_at_1(self, sample_images_llvm):
+        tool = Asm2Vec()
+        result = tool.compare(sample_images_llvm["O0"], sample_images_llvm["O3"])
+        assert precision_at_k(result, 3) >= precision_at_1(result)

@@ -1,0 +1,224 @@
+"""Tests for the mini-C lexer, parser and semantic analyzer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minic import (
+    LexerError,
+    ParseError,
+    SemanticError,
+    TokenKind,
+    analyze,
+    parse_program,
+    tokenize,
+)
+from repro.minic import ast_nodes as ast
+
+
+class TestLexer:
+    def test_tokenizes_keywords_and_identifiers(self):
+        tokens = tokenize("int main() { return 0; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] is TokenKind.KEYWORD
+        assert kinds[1] is TokenKind.IDENT
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_integer_literals_decimal_and_hex(self):
+        tokens = tokenize("123 0xff 0x10")
+        assert [t.value for t in tokens[:3]] == [123, 255, 16]
+
+    def test_integer_suffixes_are_accepted(self):
+        tokens = tokenize("10UL 3u 7LL")
+        assert [t.value for t in tokens[:3]] == [10, 3, 7]
+
+    def test_char_literals(self):
+        tokens = tokenize("'a' '\\n' '\\0'")
+        assert [t.value for t in tokens[:3]] == [ord("a"), ord("\n"), 0]
+
+    def test_string_literal_with_escapes(self):
+        tokens = tokenize('"hi\\tthere"')
+        assert tokens[0].value == "hi\tthere"
+
+    def test_comments_and_preprocessor_lines_are_skipped(self):
+        source = "#include <stdio.h>\n// line comment\n/* block */ int x;"
+        tokens = tokenize(source)
+        assert tokens[0].is_keyword("int")
+
+    def test_multichar_punctuators_maximal_munch(self):
+        tokens = tokenize("a <<= b >> c <= d")
+        texts = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+        assert texts == ["<<=", ">>", "<="]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("int $x;")
+
+    def test_line_numbers_are_tracked(self):
+        tokens = tokenize("int a;\nint b;")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_any_decimal_literal_roundtrips(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].value == value
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12))
+    def test_identifier_like_text_lexes_to_single_token(self, name):
+        tokens = tokenize(name)
+        assert len(tokens) == 2  # token + EOF
+        assert tokens[0].kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+
+
+class TestParser:
+    def test_parses_sample_program(self, sample_program):
+        assert "main" in sample_program.function_names()
+        assert len(sample_program.globals) >= 3
+
+    def test_function_parameters(self):
+        program = parse_program("int f(int a, int b[], int c) { return a + c; } int main(){return f(1, 0, 2);}")
+        params = program.function("f").params
+        assert [p.name for p in params] == ["a", "b", "c"]
+        assert params[1].type.is_array
+
+    def test_operator_precedence(self):
+        program = parse_program("int main() { return 1 + 2 * 3; }")
+        ret = program.function("main").body.statements[0]
+        assert isinstance(ret.value, ast.BinaryOp)
+        assert ret.value.op == "+"
+        assert isinstance(ret.value.right, ast.BinaryOp)
+        assert ret.value.right.op == "*"
+
+    def test_ternary_and_logical_operators(self):
+        program = parse_program("int main() { int x = 1; return x > 0 && x < 5 ? x : -x; }")
+        assert program.function("main") is not None
+
+    def test_switch_with_default(self):
+        program = parse_program(
+            "int main() { switch (3) { case 1: return 1; case 3: return 3; default: return 0; } }"
+        )
+        switch = program.function("main").body.statements[0]
+        assert isinstance(switch, ast.Switch)
+        assert len(switch.cases) == 3
+        assert switch.cases[-1].value is None
+
+    def test_case_labels_support_constant_expressions(self):
+        program = parse_program("int main() { switch (4) { case 2+2: return 1; default: return 0; } }")
+        switch = program.function("main").body.statements[0]
+        assert switch.cases[0].value == 4
+
+    def test_for_while_do_loops(self):
+        source = """
+        int main() {
+          int s = 0; int i;
+          for (i = 0; i < 3; i++) s += i;
+          while (s < 10) s += 2;
+          do { s -= 1; } while (s > 5);
+          return s;
+        }
+        """
+        program = parse_program(source)
+        kinds = [type(stmt).__name__ for stmt in program.function("main").body.statements]
+        assert "For" in kinds and "While" in kinds and "DoWhile" in kinds
+
+    def test_compound_assignment_and_increment(self):
+        program = parse_program("int main() { int x = 1; x += 2; x++; ++x; return x; }")
+        assert program is not None
+
+    def test_postincrement_preserves_value_semantics(self):
+        program = parse_program("int main() { int x = 5; int y = x++; return y; }")
+        decl = program.function("main").body.statements[1]
+        assert isinstance(decl.init, ast.BinaryOp)
+
+    def test_global_array_with_initializer(self):
+        program = parse_program("int t[4] = {1, 2, 3, 4}; int main() { return t[0]; }")
+        assert program.globals[0].init_list is not None
+        assert len(program.globals[0].init_list) == 4
+
+    def test_sizeof_becomes_word_size(self):
+        program = parse_program("int main() { return sizeof(int); }")
+        ret = program.function("main").body.statements[0]
+        assert isinstance(ret.value, ast.IntLiteral)
+        assert ret.value.value == 8
+
+    def test_cast_is_ignored(self):
+        program = parse_program("int main() { return (int) 7; }")
+        ret = program.function("main").body.statements[0]
+        assert isinstance(ret.value, ast.IntLiteral)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 0 }")
+
+    def test_bad_assignment_target_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { 1 = 2; return 0; }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 0;")
+
+
+class TestSemantic:
+    def test_sample_program_analyzes(self, sample_program):
+        info = analyze(sample_program)
+        assert "main" in info.functions
+        assert "print_int" in info.used_builtins
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { return y; }"))
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { int a; int a; return 0; }"))
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int g; int g; int main() { return 0; }"))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { return missing(1); }"))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int f(int a) { return a; } int main() { return f(1, 2); }"))
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { return min(1); }"))
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { int x; return x[0]; }"))
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { break; return 0; }"))
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int main() { continue; return 0; }"))
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program("int helper() { return 1; }"))
+
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(parse_program(
+                "int main() { switch (1) { case 1: return 1; case 1: return 2; } return 0; }"
+            ))
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        info = analyze(parse_program("int main() { int x = 1; { int x = 2; print_int(x); } return x; }"))
+        assert info is not None

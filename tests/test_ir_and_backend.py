@@ -1,0 +1,307 @@
+"""Tests for the IR (builder, CFG, dataflow, verifier) and the backend
+(ISA encode/decode, register allocation, codegen, linking, emulation)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import disassemble, run_function, run_program
+from repro.backend import (
+    BinaryImage,
+    CodegenOptions,
+    MachInstr,
+    OPCODES,
+    decode_instruction,
+    decode_stream,
+    encode_instruction,
+    link_module,
+)
+from repro.backend.isa import OPCODES_BY_NAME
+from repro.backend.regalloc import TEMP_REGISTERS, allocate_registers
+from repro.ir import (
+    ConstInt,
+    IRVerificationError,
+    Temp,
+    build_module,
+    natural_loops,
+    predecessors_map,
+    reachable_blocks,
+    reverse_postorder,
+    verify_function,
+    verify_module,
+)
+from repro.ir.dataflow import block_liveness, temp_definitions, temp_uses
+from repro.ir.values import wrap64
+from repro.minic import parse_program
+
+
+class TestIRBuilder:
+    def test_all_functions_lowered(self, sample_module):
+        assert set(sample_module.function_names()) >= {"main", "fib", "classify", "scale"}
+
+    def test_module_verifies(self, sample_module):
+        assert verify_module(sample_module)
+
+    def test_globals_present_with_sizes(self, sample_module):
+        assert sample_module.globals["table"].size == 32
+        assert sample_module.globals["primes"].init[:3] == [2, 3, 5]
+
+    def test_string_literal_interned_once(self):
+        module = build_module(parse_program(
+            'int b[8]; int main() { strcpy(b, "xyz"); strcpy(b, "xyz"); return 0; }'
+        ))
+        strings = [g for g in module.globals.values() if g.is_string]
+        assert len(strings) == 1
+        assert strings[0].init == [ord("x"), ord("y"), ord("z"), 0]
+
+    def test_switch_lowered_to_switch_terminator(self, sample_module):
+        from repro.ir.instructions import Switch
+
+        classify = sample_module.function("classify")
+        assert any(isinstance(i, Switch) for i in classify.instructions())
+
+    def test_loop_structure_recovered(self, sample_module):
+        loops = natural_loops(sample_module.function("sum_to"))
+        assert len(loops) == 1
+
+    def test_every_block_terminated(self, sample_module):
+        for fn in sample_module.functions.values():
+            for block in fn.blocks.values():
+                assert block.is_terminated()
+
+    def test_temp_single_assignment(self, sample_module):
+        for fn in sample_module.functions.values():
+            seen = set()
+            for instr in fn.instructions():
+                for temp in instr.defs():
+                    assert temp.name not in seen
+                    seen.add(temp.name)
+
+    def test_short_circuit_creates_branches(self):
+        module = build_module(parse_program(
+            "int main() { int a = 3; int b = 4; return a > 1 && b < 9; }"
+        ))
+        assert len(module.function("main").blocks) >= 3
+
+
+class TestCFGAndDataflow:
+    def test_reachability_and_rpo(self, sample_module):
+        main = sample_module.function("main")
+        reachable = reachable_blocks(main)
+        assert main.entry in reachable
+        rpo = reverse_postorder(main)
+        assert rpo[0] == main.entry
+        assert set(rpo) == reachable
+
+    def test_predecessors_consistent_with_successors(self, sample_module):
+        from repro.ir import successors
+
+        main = sample_module.function("main")
+        preds = predecessors_map(main)
+        for label in main.blocks:
+            for succ in successors(main, label):
+                assert label in preds[succ]
+
+    def test_temp_definitions_and_uses(self, sample_module):
+        main = sample_module.function("main")
+        defs = temp_definitions(main)
+        uses = temp_uses(main)
+        assert set(uses) <= set(defs)
+
+    def test_liveness_contains_loop_counter(self, sample_module):
+        sum_to = sample_module.function("sum_to")
+        live = block_liveness(sum_to)
+        assert any("i" in variables for variables in live.values())
+
+    def test_verifier_rejects_missing_target(self, sample_module):
+        from repro.ir.instructions import Jump
+
+        broken = sample_module.function("square").clone()
+        broken.entry_block().instructions[-1] = Jump("nowhere")
+        with pytest.raises(IRVerificationError):
+            verify_function(broken)
+
+    def test_verifier_rejects_double_definition(self, sample_module):
+        from repro.ir.instructions import Move
+
+        broken = sample_module.function("square").clone()
+        temp = next(iter(broken.instructions())).defs() or [Temp("t1")]
+        broken.entry_block().instructions.insert(0, Move(temp[0], ConstInt(1)))
+        broken.entry_block().instructions.insert(0, Move(temp[0], ConstInt(2)))
+        with pytest.raises(IRVerificationError):
+            verify_function(broken)
+
+
+class TestISA:
+    def test_every_opcode_roundtrips(self):
+        for spec in OPCODES.values():
+            operands = []
+            for fmt in spec.operands:
+                operands.append(3 if fmt in ("r", "v", "u8") else -7)
+            instr = MachInstr(spec.name, operands)
+            data = encode_instruction(instr)
+            decoded, size = decode_instruction(data)
+            assert size == len(data) == spec.size
+            assert decoded.name == spec.name
+            assert decoded.operands == operands
+
+    def test_decode_stream_reports_offsets(self):
+        code = encode_instruction(MachInstr("movis", [1, 5])) + encode_instruction(MachInstr("ret", []))
+        stream = decode_stream(code)
+        assert [offset for offset, _ in stream] == [0, 4]
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(Exception):
+            decode_instruction(bytes([0xEE]))
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(Exception):
+            encode_instruction(MachInstr("movis", [0, 1 << 20]))
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_movi_roundtrips_any_64bit_value(self, value):
+        data = encode_instruction(MachInstr("movi", [4, value]))
+        decoded, _ = decode_instruction(data)
+        assert decoded.operands[1] == value
+
+    @given(st.integers())
+    def test_wrap64_is_idempotent_and_in_range(self, value):
+        wrapped = wrap64(value)
+        assert -(2**63) <= wrapped < 2**63
+        assert wrap64(wrapped) == wrapped
+
+
+class TestRegisterAllocation:
+    def test_disabled_allocation_spills_everything(self, sample_module):
+        assignment = allocate_registers(sample_module.function("main"), enable=False)
+        assert not assignment.registers
+        assert assignment.spill_count() > 0
+
+    def test_enabled_allocation_uses_temp_registers_only(self, sample_module):
+        assignment = allocate_registers(sample_module.function("main"), enable=True)
+        assert assignment.registers
+        assert set(assignment.registers.values()) <= set(TEMP_REGISTERS)
+
+    def test_no_temp_both_spilled_and_registered(self, sample_module):
+        assignment = allocate_registers(sample_module.function("main"), enable=True)
+        assert not (set(assignment.registers) & set(assignment.spills))
+
+    def test_block_local_temps_do_not_conflict(self, sample_module):
+        """Two temps sharing a register must have disjoint intervals."""
+        from repro.backend.regalloc import _live_intervals
+
+        function = sample_module.function("main")
+        assignment = allocate_registers(function, enable=True)
+        intervals = _live_intervals(function)
+        by_register = {}
+        for name, register in assignment.registers.items():
+            by_register.setdefault(register, []).append(intervals[name])
+        for spans in by_register.values():
+            spans.sort()
+            for (start_a, end_a), (start_b, end_b) in zip(spans, spans[1:]):
+                assert end_a <= start_b or end_b <= start_a or (start_a, end_a) == (start_b, end_b) or end_a < start_b or start_b >= end_a
+
+
+class TestCodegenAndLinker:
+    def test_image_sections_and_symbols(self, sample_module):
+        image = link_module(sample_module.clone(), options=CodegenOptions(), name="sample")
+        assert image.code_size() > 0
+        assert {s.name for s in image.function_symbols()} >= {"main", "fib"}
+        assert image.entry_point == image.symbol("main").offset
+
+    def test_o0_style_code_is_larger(self, sample_module):
+        o0 = link_module(sample_module.clone(), options=CodegenOptions(regalloc=False, short_immediates=False,
+                                                                       machine_peephole=False), name="s")
+        o1 = link_module(sample_module.clone(), options=CodegenOptions(), name="s")
+        assert o0.code_size() > o1.code_size()
+
+    def test_function_alignment_is_honoured(self, sample_module):
+        image = link_module(sample_module.clone(), options=CodegenOptions(align_functions=16), name="s")
+        for symbol in image.function_symbols():
+            assert symbol.offset % 16 == 0
+
+    def test_image_serialization_roundtrip(self, sample_images_llvm):
+        image = sample_images_llvm["O2"]
+        restored = BinaryImage.from_bytes(image.to_bytes())
+        assert restored.text == image.text
+        assert restored.sha256() == image.sha256()
+        assert [s.name for s in restored.symbols] == [s.name for s in image.symbols]
+
+    def test_text_fully_decodable(self, sample_images_llvm):
+        for image in sample_images_llvm.values():
+            stream = decode_stream(image.text)
+            assert sum(instr.size for _, instr in stream) == len(image.text)
+
+    def test_metadata_records_provenance(self, sample_images_llvm):
+        assert sample_images_llvm["O3"].metadata["compiler_family"] == "llvm"
+
+
+class TestEmulator:
+    def test_program_output_and_return(self, sample_images_llvm):
+        result = run_program(sample_images_llvm["O0"])
+        assert result.output_text.count("\n") >= 2
+        assert 0 <= result.return_value < 127
+
+    def test_function_level_execution(self, sample_images_llvm):
+        result = run_function(sample_images_llvm["O2"], "square", [9])
+        assert result.return_value == 81
+
+    def test_recursive_function(self, sample_images_llvm):
+        assert run_function(sample_images_llvm["O2"], "fib", [10]).return_value == 55
+
+    def test_builtin_min_max_abs(self, llvm):
+        source = "int main() { print_int(min(3, -5)); print_int(max(3, -5)); print_int(abs(-9)); return 0; }"
+        image = llvm.compile_level(source, "O1", name="builtins").image
+        assert run_program(image).output_text.split() == ["-5", "3", "9"]
+
+    def test_read_int_inputs(self, llvm):
+        source = "int main() { int a = read_int(); int b = read_int(); return a + b; }"
+        image = llvm.compile_level(source, "O1", name="inputs").image
+        assert run_program(image, inputs=[30, 12]).return_value == 42
+
+    def test_division_semantics_match_c(self, llvm):
+        source = "int main() { print_int(-7 / 2); print_int(-7 % 2); print_int(7 / -2); return 0; }"
+        image = llvm.compile_level(source, "O0", name="div").image
+        assert run_program(image).output_text.split() == ["-3", "-1", "-3"]
+
+    def test_step_limit_detects_runaway(self, llvm):
+        source = "int main() { int i = 0; while (1) { i += 1; } return i; }"
+        image = llvm.compile_level(source, "O0", name="loop").image
+        from repro.analysis import EmulationLimitExceeded
+
+        with pytest.raises(EmulationLimitExceeded):
+            run_program(image, max_steps=5000)
+
+    def test_exit_builtin_halts(self, llvm):
+        source = "int main() { exit(7); return 1; }"
+        image = llvm.compile_level(source, "O1", name="exit").image
+        result = run_program(image)
+        assert result.exited and result.exit_code == 7
+
+    def test_cycles_accumulate(self, sample_images_llvm):
+        assert run_program(sample_images_llvm["O0"]).cycles > run_program(sample_images_llvm["O3"]).cycles * 0  # non-zero
+        assert run_program(sample_images_llvm["O0"]).cycles > 0
+
+
+class TestDisassembler:
+    def test_functions_and_blocks_recovered(self, sample_images_llvm):
+        program = disassemble(sample_images_llvm["O2"])
+        assert set(program.functions) >= {"main", "fib", "classify"}
+        assert all(fn.block_count >= 1 for fn in program.functions.values())
+
+    def test_cfg_edges_within_function(self, sample_images_llvm):
+        program = disassemble(sample_images_llvm["O2"])
+        for fn in program.functions.values():
+            for block in fn.blocks.values():
+                for successor in block.successors:
+                    assert fn.start <= successor < fn.end
+
+    def test_call_graph_contains_recursion_and_calls(self, sample_images_llvm):
+        program = disassemble(sample_images_llvm["O1"])
+        graph = program.call_graph()
+        assert graph.has_edge("fib", "fib")
+        assert graph.has_edge("main", "scale") or graph.has_edge("main", "sum_to")
+
+    def test_optimization_changes_block_counts(self, sample_images_llvm):
+        o0 = disassemble(sample_images_llvm["O0"]).total_blocks()
+        o3 = disassemble(sample_images_llvm["O3"]).total_blocks()
+        assert o0 != o3

@@ -1,0 +1,277 @@
+"""Tests for the optimization passes, flag registry, pass manager and the
+compiler drivers — including the central functional-correctness property:
+every optimization level and every (repaired) random flag vector must preserve
+the program's observable behaviour."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import run_program
+from repro.backend.codegen import CodegenOptions
+from repro.backend.linker import link_module
+from repro.compilers import ObfuscatorLLVM, SimGCC, SimLLVM
+from repro.ir import build_module, verify_module
+from repro.minic import parse_program
+from repro.opt import (
+    build_gcc_registry,
+    build_llvm_registry,
+    constant_fold_function,
+    eliminate_dead_code,
+    if_convert,
+    inline_functions,
+    peel_loops,
+    simplify_cfg,
+    strength_reduce,
+    tail_call_optimization,
+    unroll_loops,
+    vectorize_loops,
+    expand_builtins,
+    merge_constants,
+)
+from repro.opt.flags import FlagVector
+from repro.opt.pass_manager import PassManager
+from repro.tuner.constraints import ConstraintEngine
+
+
+def _behaviour(module, options=None):
+    image = link_module(module.clone(), options=options or CodegenOptions(), name="t")
+    return run_program(image).observable_state()
+
+
+class TestScalarPasses:
+    def test_constant_folding_folds(self):
+        module = build_module(parse_program("int main() { return 2 * 3 + 4; }"))
+        before = _behaviour(module)
+        rewrites = constant_fold_function(module.function("main"))
+        assert rewrites > 0
+        assert _behaviour(module) == before
+
+    def test_dce_removes_dead_locals(self):
+        module = build_module(parse_program("int main() { int dead = 41; int live = 1; return live; }"))
+        before = _behaviour(module)
+        removed = eliminate_dead_code(module.function("main"))
+        assert removed > 0
+        assert _behaviour(module) == before
+
+    def test_simplify_cfg_merges_blocks(self, sample_module):
+        module = sample_module.clone()
+        before = _behaviour(module)
+        total = sum(simplify_cfg(fn) for fn in module.functions.values())
+        verify_module(module)
+        assert total > 0
+        assert _behaviour(module) == before
+
+    def test_strength_reduction_removes_multiplications(self):
+        module = build_module(parse_program("int main() { int x = read_int(); return x * 10 + x * 16; }"))
+        before_image = link_module(module.clone(), name="t")
+        rewrites = strength_reduce(module.function("main"))
+        verify_module(module)
+        assert rewrites == 2
+        after_image = link_module(module.clone(), name="t")
+        assert run_program(before_image, inputs=[7]).return_value == run_program(after_image, inputs=[7]).return_value == 182
+
+
+class TestStructuralPasses:
+    def test_inlining_preserves_behaviour_and_removes_calls(self, sample_module):
+        module = sample_module.clone()
+        before = _behaviour(module)
+        count = inline_functions(module, small_only=True, small_threshold=40)
+        verify_module(module)
+        assert count > 0
+        assert _behaviour(module) == before
+
+    def test_tail_call_marking(self):
+        source = "int helper(int x) { return x + 1; } int wrap(int x) { return helper(x); } int main() { return wrap(4); }"
+        module = build_module(parse_program(source))
+        before = _behaviour(module)
+        assert tail_call_optimization(module) >= 1
+        assert _behaviour(module, CodegenOptions(enable_tail_calls=True)) == before
+
+    def test_unrolling_small_constant_loop(self):
+        source = "int main() { int s = 0; int i; for (i = 0; i < 5; i++) s += i; return s; }"
+        module = build_module(parse_program(source))
+        before = _behaviour(module)
+        changed = unroll_loops(module.function("main"), full_threshold=8)
+        verify_module(module)
+        assert changed == 1
+        from repro.ir import natural_loops
+
+        assert natural_loops(module.function("main")) == []
+        assert _behaviour(module) == before
+
+    def test_partial_unrolling_unknown_bound(self):
+        source = "int main() { int n = read_int(); int s = 0; int i; for (i = 0; i < n; i++) s += i * 2; return s; }"
+        module = build_module(parse_program(source))
+        reference = link_module(module.clone(), name="t")
+        changed = unroll_loops(module.function("main"), full_threshold=2, partial_factor=3)
+        verify_module(module)
+        assert changed == 1
+        unrolled = link_module(module.clone(), name="t")
+        for n in (0, 1, 5, 12):
+            assert (
+                run_program(reference, inputs=[n]).return_value
+                == run_program(unrolled, inputs=[n]).return_value
+            )
+
+    def test_peeling_preserves_behaviour(self, sample_module):
+        module = sample_module.clone()
+        before = _behaviour(module)
+        assert sum(peel_loops(fn) for fn in module.functions.values()) > 0
+        verify_module(module)
+        assert _behaviour(module) == before
+
+    def test_vectorization_of_elementwise_loop(self):
+        source = """
+        int a[64]; int b[64]; int c[64];
+        int main() {
+          int i;
+          for (i = 0; i < 64; i++) { a[i] = i; b[i] = 64 - i; }
+          for (i = 0; i < 63; i++) { c[i] = a[i] * b[i]; }
+          int s = 0;
+          for (i = 0; i < 63; i++) s += c[i];
+          return s % 251;
+        }
+        """
+        module = build_module(parse_program(source))
+        before = _behaviour(module)
+        vectorized = sum(vectorize_loops(fn) for fn in module.functions.values())
+        verify_module(module)
+        assert vectorized >= 1
+        from repro.ir.instructions import VecBinOp
+
+        assert any(isinstance(i, VecBinOp) for i in module.function("main").instructions())
+        assert _behaviour(module) == before
+
+    def test_if_conversion_creates_select(self):
+        source = "int main() { int x = read_int(); int y; if (x > 3) y = 10; else y = 20; return y; }"
+        module = build_module(parse_program(source))
+        reference = link_module(module.clone(), name="t")
+        converted = if_convert(module.function("main"))
+        verify_module(module)
+        assert converted == 1
+        from repro.ir.instructions import Select
+
+        assert any(isinstance(i, Select) for i in module.function("main").instructions())
+        converted_image = link_module(module.clone(), name="t")
+        for x in (0, 3, 4, 100):
+            assert run_program(reference, inputs=[x]).return_value == run_program(converted_image, inputs=[x]).return_value
+
+    def test_builtin_expansion_of_strcpy(self):
+        source = 'int b[16]; int main() { strcpy(b, "hey"); print_str(b); return strlen("hey"); }'
+        module = build_module(parse_program(source))
+        before = _behaviour(module)
+        assert expand_builtins(module) >= 1
+        from repro.ir.instructions import Call
+
+        remaining = [i.callee for i in module.function("main").instructions() if isinstance(i, Call)]
+        assert "strcpy" not in remaining
+        assert _behaviour(module) == before
+
+    def test_merge_constants_dedupes_strings(self):
+        source = 'int a[8]; int b[8]; int main() { strcpy(a, "zz"); strcpy(b, "zz"); return strcmp(a, b); }'
+        module = build_module(parse_program(source))
+        # Force two identical const globals to exercise merging.
+        from repro.ir.function import GlobalData
+
+        module.add_global(GlobalData("dup1", 2, [7, 0], is_const=True))
+        module.add_global(GlobalData("dup2", 2, [7, 0], is_const=True))
+        before = _behaviour(module)
+        assert merge_constants(module) >= 1
+        assert _behaviour(module) == before
+
+
+class TestFlagsAndPassManager:
+    def test_registries_have_large_flag_spaces(self):
+        assert len(build_gcc_registry()) >= 50
+        assert len(build_llvm_registry()) >= 45
+
+    def test_o3_is_less_than_half_of_flag_space(self):
+        for registry in (build_gcc_registry(), build_llvm_registry()):
+            assert len(registry.preset("O3")) / len(registry) < 0.75
+            assert len(registry.preset("O3")) > len(registry.preset("O1"))
+
+    def test_presets_satisfy_constraints(self):
+        for registry in (build_gcc_registry(), build_llvm_registry()):
+            engine = ConstraintEngine(registry)
+            for level in registry.presets:
+                assert engine.is_valid(registry.preset(level)), level
+
+    def test_flag_vector_bits_roundtrip(self):
+        registry = build_gcc_registry()
+        vector = registry.preset("O2")
+        assert FlagVector.from_bits(registry, vector.to_bits()).enabled == vector.enabled
+
+    def test_unknown_flag_rejected(self):
+        registry = build_llvm_registry()
+        with pytest.raises(ValueError):
+            FlagVector(registry, frozenset({"-not-a-flag"}))
+
+    def test_jaccard_index(self):
+        registry = build_gcc_registry()
+        o2, o3 = registry.preset("O2"), registry.preset("O3")
+        assert 0.0 < o2.jaccard(o3) < 1.0
+        assert o3.jaccard(o3) == 1.0
+
+    def test_pass_manager_plan_reflects_flags(self, llvm):
+        manager = llvm.pass_manager
+        plan = manager.plan(llvm.preset("O3"))
+        assert "vectorize" in plan.ir_passes
+        assert plan.codegen.regalloc
+        plan0 = manager.plan(llvm.empty_flags())
+        assert plan0.ir_passes == []
+        assert not plan0.codegen.regalloc
+
+    def test_pass_manager_records_statistics(self, llvm, sample_module):
+        manager = PassManager(llvm.registry)
+        optimized = manager.run(sample_module, llvm.preset("O2"))
+        from repro.opt import optimization_report
+
+        assert optimization_report(optimized)
+
+
+class TestCompilerCorrectness:
+    LEVELS = ("O0", "O1", "O2", "O3", "Os")
+
+    def test_all_levels_preserve_behaviour_llvm(self, sample_images_llvm):
+        reference = run_program(sample_images_llvm["O0"]).observable_state()
+        for level in self.LEVELS:
+            assert run_program(sample_images_llvm[level]).observable_state() == reference, level
+
+    def test_all_levels_preserve_behaviour_gcc(self, sample_images_gcc):
+        reference = run_program(sample_images_gcc["O0"]).observable_state()
+        for level in self.LEVELS:
+            assert run_program(sample_images_gcc[level]).observable_state() == reference, level
+
+    def test_levels_produce_different_binaries(self, sample_images_llvm):
+        hashes = {image.sha256() for image in sample_images_llvm.values()}
+        assert len(hashes) >= 4
+
+    def test_compilers_differ_from_each_other(self, sample_images_llvm, sample_images_gcc):
+        assert sample_images_llvm["O2"].sha256() != sample_images_gcc["O2"].sha256()
+
+    def test_obfuscator_preserves_behaviour(self, sample_source, sample_images_llvm):
+        obfuscator = ObfuscatorLLVM()
+        image = obfuscator.compile(sample_source, obfuscator.preset("O2"), name="sample").image
+        assert run_program(image).observable_state() == run_program(sample_images_llvm["O0"]).observable_state()
+        assert image.code_size() > sample_images_llvm["O2"].code_size()
+
+    def test_compile_rejects_foreign_flag_vector(self, llvm, gcc, sample_source):
+        from repro.compilers.base import CompilationError
+
+        with pytest.raises(CompilationError):
+            llvm.compile(sample_source, gcc.preset("O2"))
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_repaired_flag_vectors_preserve_behaviour(self, llvm, sample_source, seed):
+        """The central soundness property behind BinTuner: any constraint-
+        repaired point of the search space compiles to an equivalent binary."""
+        rng = random.Random(seed)
+        engine = ConstraintEngine(llvm.registry)
+        bits = [1 if rng.random() < rng.uniform(0.2, 0.8) else 0 for _ in llvm.registry.flag_names()]
+        flags = engine.sanitize_bits(bits)
+        image = llvm.compile(sample_source, flags, name="sample").image
+        reference = llvm.compile_level(sample_source, "O0", name="sample").image
+        assert run_program(image).observable_state() == run_program(reference).observable_state()
