@@ -37,6 +37,22 @@ def main() -> None:
     print(f"  tuned flag count: {len(tuned.best_flags)} "
           f"(O3 has {len(compiler.preset('O3'))})")
     print(f"  Jaccard(O3, BinTuner) = {tuned.best_flags.jaccard(compiler.preset('O3')):.2f}")
+    stats = tuned.evaluation_stats
+    print(f"  evaluation engine: {stats.evaluated}/{stats.requested} candidates compiled, "
+          f"{stats.cache_hits} cache hits (hit ratio {stats.hit_ratio:.0%})")
+
+    print("\n== same search on a 4-worker process pool (identical results by design)")
+    parallel_config = BinTunerConfig(
+        max_iterations=60, ga=GAParameters(population_size=12),
+        executor="process", workers=4,
+    )
+    parallel_tuner = BinTuner(SimLLVM(), spec, parallel_config)
+    parallel = parallel_tuner.run()
+    agree = (parallel.best_flags.sorted_names() == tuned.best_flags.sorted_names()
+             and parallel.ncd_history() == tuned.ncd_history())
+    print(f"  best NCD vs O0: {parallel.best_fitness:.3f} "
+          f"({parallel_config.workers} workers, generation-batched)")
+    print(f"  serial and parallel runs agree bit-for-bit: {agree}")
 
     print("\n== difference from the O0 baseline (higher = more different)")
     binhunt = BinHunt()

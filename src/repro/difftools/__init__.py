@@ -17,6 +17,7 @@ from repro.difftools.ncd import (
     ncd_images,
     compressed_size,
     NCDFitness,
+    CachedNCDFitness,
 )
 from repro.difftools.binhunt import BinHunt, BinHuntResult
 from repro.difftools.base import DiffTool, MatchResult
@@ -39,6 +40,7 @@ __all__ = [
     "ncd_images",
     "compressed_size",
     "NCDFitness",
+    "CachedNCDFitness",
     "BinHunt",
     "BinHuntResult",
     "DiffTool",

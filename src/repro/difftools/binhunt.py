@@ -146,26 +146,35 @@ class BinHunt:
     def __init__(self, function_match_threshold: float = 0.25, max_block_candidates: int = 512) -> None:
         self.function_match_threshold = function_match_threshold
         self.max_block_candidates = max_block_candidates
-        self._form_cache: Dict[int, Tuple[List[Tuple[int, Tuple]], List[Tuple[int, Tuple]]]] = {}
+        # id(function) -> (function, (exact forms, abstract forms)); the
+        # function reference pins the id against recycling.
+        self._form_cache: Dict[int, Tuple["RecoveredFunction", Tuple]] = {}
 
     # -- block & CFG matching ---------------------------------------------------
 
     def _block_forms(self, function: RecoveredFunction):
-        """Cached (exact form, abstract form) lists of a function's blocks."""
+        """Cached (exact form, abstract form) lists of a function's blocks.
+
+        The cache entry keeps a strong reference to the function it was
+        computed for: ``id()`` values are recycled once an object is garbage
+        collected, so a bare ``id -> forms`` map can serve stale forms for a
+        *different* function that happens to land on the same address.
+        """
         key = id(function)
         cached = self._form_cache.get(key)
-        if cached is None:
-            exact = [
-                (start, canonical_block(block, keep_registers=True))
-                for start, block in function.blocks.items()
-            ]
-            abstract = [
-                (start, canonical_block(block, keep_registers=False))
-                for start, block in function.blocks.items()
-            ]
-            cached = (exact, abstract)
-            self._form_cache[key] = cached
-        return cached
+        if cached is not None and cached[0] is function:
+            return cached[1]
+        exact = [
+            (start, canonical_block(block, keep_registers=True))
+            for start, block in function.blocks.items()
+        ]
+        abstract = [
+            (start, canonical_block(block, keep_registers=False))
+            for start, block in function.blocks.items()
+        ]
+        forms = (exact, abstract)
+        self._form_cache[key] = (function, forms)
+        return forms
 
     def match_function_pair(
         self, source: RecoveredFunction, target: RecoveredFunction
@@ -229,6 +238,17 @@ class BinHunt:
     # -- whole-binary comparison --------------------------------------------------
 
     def compare_programs(
+        self, source: RecoveredProgram, target: RecoveredProgram
+    ) -> BinHuntResult:
+        # The form cache only pays off inside this call's O(n^2) pairing loop;
+        # it is dropped on exit so the strong function references (which pin
+        # ids against recycling) never outlive the comparison.
+        try:
+            return self._compare_programs(source, target)
+        finally:
+            self._form_cache.clear()
+
+    def _compare_programs(
         self, source: RecoveredProgram, target: RecoveredProgram
     ) -> BinHuntResult:
         source_functions = list(source.functions.values())

@@ -12,9 +12,11 @@ difference score (Appendix C).
 from __future__ import annotations
 
 import bz2
+import hashlib
 import lzma
 import zlib
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Callable, Dict
 
 from repro.backend.binary import BinaryImage
@@ -35,6 +37,15 @@ def compressed_size(data: bytes, compressor: str = "lzma") -> int:
     return len(compress(data))
 
 
+def _ncd_from_sizes(c_x: int, c_y: int, c_xy: int) -> float:
+    """The NCD formula over precomputed compressed sizes, clamped to [0, 1]."""
+    denominator = max(c_x, c_y)
+    if denominator == 0:
+        return 0.0
+    value = (c_xy - min(c_x, c_y)) / denominator
+    return max(0.0, min(value, 1.0))
+
+
 def ncd(x: bytes, y: bytes, compressor: str = "lzma") -> float:
     """NCD between two byte strings (0.0 identical .. ~1.0 unrelated)."""
     if not x and not y:
@@ -42,11 +53,7 @@ def ncd(x: bytes, y: bytes, compressor: str = "lzma") -> float:
     c_x = compressed_size(x, compressor)
     c_y = compressed_size(y, compressor)
     c_xy = compressed_size(x + y, compressor)
-    denominator = max(c_x, c_y)
-    if denominator == 0:
-        return 0.0
-    value = (c_xy - min(c_x, c_y)) / denominator
-    return max(0.0, min(value, 1.0))
+    return _ncd_from_sizes(c_x, c_y, c_xy)
 
 
 def ncd_images(left: BinaryImage, right: BinaryImage, compressor: str = "lzma") -> float:
@@ -70,3 +77,81 @@ class NCDFitness:
 
     def name(self) -> str:
         return f"ncd-{self.compressor}"
+
+
+@dataclass
+class CachedNCDFitness:
+    """Drop-in :class:`NCDFitness` that never recompresses the baseline.
+
+    In a tuning run every candidate is measured against the *same* O0
+    baseline, so ``C(baseline)`` is a constant that plain :func:`ncd`
+    recomputes on every call.  This variant compresses the baseline ``.text``
+    once, resolves the compressor callable once, and keeps an LRU of results
+    keyed by the candidate ``.text`` fingerprint — search strategies revisit
+    binaries that map to identical code far more often than flag vectors
+    repeat.  Returned values are bit-identical to :class:`NCDFitness`.
+    """
+
+    baseline: BinaryImage
+    compressor: str = "lzma"
+    max_entries: int = 4096
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._materialize()
+
+    def _materialize(self) -> None:
+        try:
+            self._compress = _COMPRESSORS[self.compressor]
+        except KeyError as exc:
+            raise ValueError(f"unknown compressor {self.compressor!r}") from exc
+        self._baseline_text = self.baseline.text
+        self._baseline_size = len(self._compress(self._baseline_text))
+        self._cache: "OrderedDict[str, float]" = OrderedDict()
+
+    # The resolved compressor is a module-level lambda and the cache is
+    # per-process state; rebuild both after unpickling (e.g. in pool workers).
+    def __getstate__(self):
+        return {
+            "baseline": self.baseline,
+            "compressor": self.compressor,
+            "max_entries": self.max_entries,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.hits = 0
+        self.misses = 0
+        self._materialize()
+
+    def __call__(self, candidate: BinaryImage) -> float:
+        text = candidate.text
+        key = hashlib.sha256(text).hexdigest()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self._score(text)
+        self._cache[key] = value
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return value
+
+    def _score(self, text: bytes) -> float:
+        # Same contract as ncd(), with C(baseline) precomputed.
+        if not self._baseline_text and not text:
+            return 0.0
+        c_y = len(self._compress(text))
+        c_xy = len(self._compress(self._baseline_text + text))
+        return _ncd_from_sizes(self._baseline_size, c_y, c_xy)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def name(self) -> str:
+        return f"ncd-{self.compressor}-cached"

@@ -67,9 +67,15 @@ class FlagRegistry:
         return FlagVector(self, frozenset(self.presets[level]))
 
     def effects(self, enabled: Iterable[str]) -> Dict[str, Optional[int]]:
-        """Map of effect-key -> parameter for the enabled flags."""
+        """Map of effect-key -> parameter for the enabled flags.
+
+        Flags are visited in sorted order: ``enabled`` is usually a frozenset,
+        and iterating it directly would make the last-writer-wins parameter
+        resolution depend on the interpreter's hash seed — compiles must be
+        identical across processes for parallel evaluation to be reproducible.
+        """
         out: Dict[str, Optional[int]] = {}
-        for name in enabled:
+        for name in sorted(enabled):
             flag = self.flag(name)
             if flag.effect != "none":
                 out[flag.effect] = flag.parameter if flag.parameter is not None else out.get(flag.effect)

@@ -8,6 +8,9 @@ This is the paper's primary contribution (§4).  The package provides:
   random-search baselines;
 * :mod:`repro.tuner.database` — the iteration database that records every
   compilation, its flag vector, fitness and binary fingerprint;
+* :mod:`repro.tuner.evaluation` — the generation-batched evaluation engine
+  (batch dedup against the database, serial or process-pool dispatch,
+  submission-order recording for reproducibility);
 * :mod:`repro.tuner.tuner` — the :class:`BinTuner` orchestrator (compiler
   interface + fitness function + termination criteria) and the build-spec
   ("makefile analyzer") front door;
@@ -24,6 +27,14 @@ from repro.tuner.search import (
     SearchObserver,
 )
 from repro.tuner.database import TuningDatabase, IterationRecord
+from repro.tuner.evaluation import (
+    CandidateResult,
+    EvaluationEngine,
+    EvaluationStats,
+    ProcessPoolMapper,
+    SerialMapper,
+    TunerCandidateEvaluator,
+)
 from repro.tuner.tuner import (
     BinTuner,
     BinTunerConfig,
@@ -43,6 +54,12 @@ __all__ = [
     "SearchObserver",
     "TuningDatabase",
     "IterationRecord",
+    "CandidateResult",
+    "EvaluationEngine",
+    "EvaluationStats",
+    "ProcessPoolMapper",
+    "SerialMapper",
+    "TunerCandidateEvaluator",
     "BinTuner",
     "BinTunerConfig",
     "TuningResult",

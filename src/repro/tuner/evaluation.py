@@ -1,0 +1,356 @@
+"""Generation-batched candidate evaluation.
+
+Fitness evaluation is BinTuner's bottleneck (§4.1–4.2): every candidate is
+compiled, emulated for functional correctness, and scored by NCD against the
+O0 baseline.  The :class:`EvaluationEngine` pulls that hot path out of the
+orchestrator into a composable subsystem:
+
+* search strategies submit whole *batches* of flag vectors (a GA generation,
+  a hill-climbing probe set, a random-sampling slice);
+* the engine dedupes the batch against the :class:`TuningDatabase` and
+  against itself, so a fingerprint that was ever compiled is never compiled
+  again and intra-batch duplicates are evaluated exactly once;
+* the surviving misses are dispatched to a worker mapper — the deterministic
+  in-process :class:`SerialMapper` by default, or a
+  :class:`ProcessPoolMapper` over ``concurrent.futures.ProcessPoolExecutor``;
+* results are recorded in *submission* order regardless of worker completion
+  order, so a run is bit-for-bit reproducible for any worker count.
+
+The worker side is a picklable :class:`TunerCandidateEvaluator` that carries
+the compiler, the build spec fields and the baseline; per-process state (the
+cached NCD fitness, lazily built) never crosses the pipe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.emulator import EmulationError, run_program
+from repro.backend.binary import BinaryImage
+from repro.compilers.base import CompilationError, Compiler
+from repro.difftools.ncd import CachedNCDFitness
+from repro.opt.flags import FlagVector
+from repro.tuner.constraints import ConstraintEngine, ConstraintViolation
+from repro.tuner.database import IterationRecord, TuningDatabase
+
+#: Flag vectors travel to workers as their canonical sorted-name tuples: tiny
+#: to pickle, hashable, and exactly the :class:`TuningDatabase` lookup key.
+FlagKey = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Everything one evaluation produces (mirrors an :class:`IterationRecord`)."""
+
+    fitness: float
+    code_size: int
+    fingerprint: str
+    valid: bool
+    elapsed_seconds: float
+
+
+#: A candidate evaluator: canonical flag key -> result.  Must be picklable to
+#: be used with :class:`ProcessPoolMapper`.
+CandidateEvaluator = Callable[[FlagKey], CandidateResult]
+
+
+# ---------------------------------------------------------------------------
+# Worker mappers
+# ---------------------------------------------------------------------------
+
+class SerialMapper:
+    """Deterministic in-process mapper (the default and the fallback)."""
+
+    workers = 1
+
+    def __init__(self, evaluator: CandidateEvaluator) -> None:
+        self._evaluator = evaluator
+
+    def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        return [self._evaluator(key) for key in keys]
+
+    def close(self) -> None:
+        pass
+
+
+# Worker-process global, installed once per worker by the pool initializer so
+# the (comparatively heavy) evaluator is pickled once, not once per task.
+_WORKER_EVALUATOR: Optional[CandidateEvaluator] = None
+
+
+def _install_worker_evaluator(evaluator: CandidateEvaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _call_worker_evaluator(key: FlagKey) -> CandidateResult:
+    assert _WORKER_EVALUATOR is not None, "worker pool initializer did not run"
+    return _WORKER_EVALUATOR(key)
+
+
+class ProcessPoolMapper:
+    """Dispatches candidate evaluations to a ``ProcessPoolExecutor``.
+
+    ``map`` preserves submission order, so the engine's determinism guarantee
+    holds for any worker count.  Exceptions raised inside a worker (anything
+    the evaluator does not classify as an invalid candidate) propagate to the
+    caller, exactly like the serial mapper.
+    """
+
+    def __init__(self, evaluator: CandidateEvaluator, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._evaluator = evaluator
+        self.workers = workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_install_worker_evaluator,
+                initargs=(self._evaluator,),
+            )
+        return self._pool
+
+    def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        if not keys:
+            return []
+        return list(self._ensure_pool().map(_call_worker_evaluator, keys))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def make_mapper(
+    evaluator: CandidateEvaluator, executor: str = "serial", workers: int = 1
+):
+    """Resolve the (executor, workers) knobs into a mapper instance."""
+    if executor not in ("serial", "process"):
+        raise ValueError(f"unknown executor {executor!r} (use 'serial' or 'process')")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor == "process" or workers > 1:
+        return ProcessPoolMapper(evaluator, workers=workers)
+    return SerialMapper(evaluator)
+
+
+# ---------------------------------------------------------------------------
+# The tuner's worker function
+# ---------------------------------------------------------------------------
+
+def make_fitness(
+    kind: str, baseline: BinaryImage, compressor: str = "lzma"
+) -> Callable[[BinaryImage], float]:
+    """The single ``fitness_kind`` dispatch, shared by orchestrator and workers."""
+    if kind == "binhunt":
+        from repro.tuner.tuner import BinHuntFitness
+
+        return BinHuntFitness(baseline)
+    return CachedNCDFitness(baseline, compressor=compressor)
+
+@dataclass
+class TunerCandidateEvaluator:
+    """Compile + emulate + score one candidate; picklable for worker pools.
+
+    Domain failures — a constraint conflict, a failed compilation, a
+    miscompiled binary caught by the behaviour check — score
+    ``invalid_fitness``.  Anything else (a genuine programming error)
+    propagates: converting a ``TypeError`` into a penalty record would bury
+    real bugs in the tuning log.
+    """
+
+    compiler: Compiler
+    source: str
+    name: str
+    baseline: BinaryImage
+    baseline_behaviour: object = None
+    arguments: Sequence[int] = ()
+    inputs: Sequence[int] = ()
+    fitness_kind: str = "ncd"
+    compressor: str = "lzma"
+    invalid_fitness: float = -1.0
+    max_emulation_steps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        self._constraints = ConstraintEngine(self.compiler.registry)
+        self._fitness: Optional[Callable[[BinaryImage], float]] = None
+
+    # Per-process fitness state (the NCD cache) is rebuilt lazily after
+    # unpickling instead of being shipped to every worker.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_fitness"] = None
+        return state
+
+    def fitness_function(self) -> Callable[[BinaryImage], float]:
+        if self._fitness is None:
+            self._fitness = make_fitness(self.fitness_kind, self.baseline, self.compressor)
+        return self._fitness
+
+    def __call__(self, key: FlagKey) -> CandidateResult:
+        started = time.perf_counter()
+        fitness_fn = self.fitness_function()
+        try:
+            flags = self._constraints.check(
+                FlagVector(self.compiler.registry, frozenset(key))
+            )
+            image = self.compiler.compile(self.source, flags, name=self.name).image
+            if self.baseline_behaviour is not None:
+                behaviour = run_program(
+                    image,
+                    args=self.arguments,
+                    inputs=self.inputs,
+                    max_steps=self.max_emulation_steps,
+                ).observable_state()
+                if behaviour != self.baseline_behaviour:
+                    raise CompilationError("tuned binary changed observable behaviour")
+            return CandidateResult(
+                fitness=fitness_fn(image),
+                code_size=image.code_size(),
+                fingerprint=image.fingerprint(),
+                valid=True,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        except (CompilationError, EmulationError, ConstraintViolation, ValueError):
+            # A conflicting flag set or a miscompiled binary scores the
+            # configured penalty, exactly like a failed compilation iteration.
+            return CandidateResult(
+                fitness=self.invalid_fitness,
+                code_size=0,
+                fingerprint="invalid",
+                valid=False,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EvaluationStats:
+    """Dedup/caching counters of one engine (reported by the speedup bench)."""
+
+    requested: int = 0
+    evaluated: int = 0
+    database_hits: int = 0
+    intra_batch_hits: int = 0
+    batches: int = 0
+    invalid: int = 0
+    worker_seconds: float = 0.0
+
+    def since(self, baseline: "EvaluationStats") -> "EvaluationStats":
+        """Counters accrued after ``baseline`` was snapshot (per-run stats)."""
+        return EvaluationStats(
+            requested=self.requested - baseline.requested,
+            evaluated=self.evaluated - baseline.evaluated,
+            database_hits=self.database_hits - baseline.database_hits,
+            intra_batch_hits=self.intra_batch_hits - baseline.intra_batch_hits,
+            batches=self.batches - baseline.batches,
+            invalid=self.invalid - baseline.invalid,
+            worker_seconds=self.worker_seconds - baseline.worker_seconds,
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        return self.database_hits + self.intra_batch_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.requested if self.requested else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "requested": self.requested,
+            "evaluated": self.evaluated,
+            "db hits": self.database_hits,
+            "intra-batch hits": self.intra_batch_hits,
+            "hit ratio": round(self.hit_ratio, 3),
+            "batches": self.batches,
+        }
+
+
+class EvaluationEngine:
+    """Batch-dedup-dispatch-record pipeline over a candidate evaluator.
+
+    The engine is the single writer of its :class:`TuningDatabase`: every
+    cache miss becomes one :class:`IterationRecord`, appended in submission
+    order with the batch index as its ``generation``.  ``evaluate_batch``
+    returns one score per submitted vector (duplicates included), so search
+    strategies never need to know about the dedup.
+    """
+
+    def __init__(
+        self,
+        evaluator: CandidateEvaluator,
+        database: Optional[TuningDatabase] = None,
+        executor: str = "serial",
+        workers: int = 1,
+    ) -> None:
+        self.database = database if database is not None else TuningDatabase()
+        self.stats = EvaluationStats()
+        self._mapper = make_mapper(evaluator, executor=executor, workers=workers)
+
+    @property
+    def workers(self) -> int:
+        return self._mapper.workers
+
+    def evaluate_batch(self, batch: Sequence[FlagVector]) -> List[float]:
+        """Evaluate a generation; returns scores aligned with ``batch``."""
+        generation = self.stats.batches
+        self.stats.batches += 1
+        self.stats.requested += len(batch)
+        keys: List[FlagKey] = [tuple(vector.sorted_names()) for vector in batch]
+        scores: Dict[FlagKey, float] = {}
+        misses: Dict[FlagKey, None] = {}  # insertion-ordered unique misses
+        for key in keys:
+            if key in misses or key in scores:  # duplicate within this batch
+                self.stats.intra_batch_hits += 1
+                continue
+            cached = self.database.lookup(key)
+            if cached is not None:
+                self.stats.database_hits += 1
+                scores[key] = cached.fitness
+            else:
+                misses[key] = None
+        results = self._mapper.map(list(misses))
+        for key, result in zip(misses, results):
+            self.stats.evaluated += 1
+            self.stats.worker_seconds += result.elapsed_seconds
+            if not result.valid:
+                self.stats.invalid += 1
+            self.database.record(
+                IterationRecord(
+                    iteration=len(self.database) + 1,
+                    flags=key,
+                    fitness=result.fitness,
+                    code_size=result.code_size,
+                    fingerprint=result.fingerprint,
+                    elapsed_seconds=result.elapsed_seconds,
+                    generation=generation,
+                    valid=result.valid,
+                )
+            )
+            scores[key] = result.fitness
+        return [scores[key] for key in keys]
+
+    def evaluate(self, vector: FlagVector) -> float:
+        """Single-candidate convenience wrapper (a batch of one)."""
+        return self.evaluate_batch([vector])[0]
+
+    def close(self) -> None:
+        """Release worker processes (no-op for the serial mapper)."""
+        self._mapper.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

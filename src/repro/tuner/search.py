@@ -7,13 +7,19 @@ chromosomes are flag bit-vectors, selection is fitness-proportional with
 elitism, then crossover, mutation and constraint repair produce the next
 generation.  Hill climbing and random search are provided as the baselines
 used in the ablation benches.
+
+All three strategies are *batch-first*: candidates are generated first and
+submitted as whole batches — the GA submits generations, the baselines submit
+probe batches — so an :class:`repro.tuner.evaluation.EvaluationEngine` can
+dedup and parallelize each batch.  A plain per-candidate callable still works
+everywhere; it is wrapped into a serial batch adapter.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union
 
 from repro.opt.flags import FlagRegistry, FlagVector
 from repro.tuner.constraints import ConstraintEngine
@@ -23,10 +29,81 @@ from repro.tuner.constraints import ConstraintEngine
 FitnessFunction = Callable[[FlagVector], float]
 
 
+class BatchFitnessFunction(Protocol):
+    """Batch evaluator: one score per submitted vector, in submission order."""
+
+    def evaluate_batch(self, batch: Sequence[FlagVector]) -> List[float]: ...
+
+
+#: What a strategy's ``run`` accepts: a batch engine or a plain callable.
+AnyFitness = Union[BatchFitnessFunction, FitnessFunction]
+
+
+class _CallableBatchAdapter:
+    """Wraps a per-candidate callable into the batch protocol (serial map)."""
+
+    def __init__(self, fitness: FitnessFunction) -> None:
+        self._fitness = fitness
+
+    def evaluate_batch(self, batch: Sequence[FlagVector]) -> List[float]:
+        return [self._fitness(vector) for vector in batch]
+
+
+def as_batch_fitness(fitness: AnyFitness) -> BatchFitnessFunction:
+    """Coerce ``fitness`` to the batch protocol."""
+    if hasattr(fitness, "evaluate_batch"):
+        return fitness  # type: ignore[return-value]
+    return _CallableBatchAdapter(fitness)  # type: ignore[arg-type]
+
+
 class SearchObserver(Protocol):
     """Callback invoked after every evaluation (used for NCD curves)."""
 
     def __call__(self, iteration: int, flags: FlagVector, fitness: float) -> None: ...
+
+
+class _ProgressTracker:
+    """Shared bookkeeping: budget truncation, best-so-far, observer calls.
+
+    Batches are truncated to the remaining budget *before* evaluation, and
+    results are folded in submission order, so runs are reproducible for any
+    evaluator (serial callable, serial engine, process-pool engine).
+    """
+
+    def __init__(
+        self,
+        fitness: AnyFitness,
+        max_iterations: int,
+        observer: Optional[SearchObserver],
+    ) -> None:
+        self._evaluator = as_batch_fitness(fitness)
+        self._max_iterations = max_iterations
+        self._observer = observer
+        self.evaluations = 0
+        self.best_flags: Optional[FlagVector] = None
+        self.best_fitness = float("-inf")
+        self.history: List[float] = []
+
+    @property
+    def budget_left(self) -> int:
+        return self._max_iterations - self.evaluations
+
+    def evaluate(self, batch: Sequence[FlagVector]) -> List[Tuple[float, FlagVector]]:
+        batch = list(batch)[: max(self.budget_left, 0)]
+        if not batch:
+            return []
+        scores = self._evaluator.evaluate_batch(batch)
+        scored: List[Tuple[float, FlagVector]] = []
+        for individual, score in zip(batch, scores):
+            self.evaluations += 1
+            if score > self.best_fitness:
+                self.best_fitness = score
+                self.best_flags = individual
+            self.history.append(self.best_fitness)
+            if self._observer is not None:
+                self._observer(self.evaluations, individual, score)
+            scored.append((score, individual))
+        return scored
 
 
 @dataclass
@@ -81,18 +158,28 @@ class GeneticAlgorithm:
         ]
         return self.constraints.sanitize_bits(child_bits)
 
-    def _mutate(self, individual: FlagVector) -> FlagVector:
-        bits = individual.to_bits()
-        flipped = 0
+    def _mutate_bits(self, bits: List[int]) -> List[int]:
+        """Flip bits in place; guarantees >= ``must_mutate_count`` net flips.
+
+        The fallback loop only picks indices that were *not* already flipped
+        — re-flipping one would revert it and void the guarantee.
+        """
+        flipped = set()
         for index in range(len(bits)):
             if self._rng.random() < self.parameters.mutation_rate:
                 bits[index] ^= 1
-                flipped += 1
-        while flipped < self.parameters.must_mutate_count:
+                flipped.add(index)
+        required = min(self.parameters.must_mutate_count, len(bits))
+        while len(flipped) < required:
             index = self._rng.randrange(len(bits))
+            if index in flipped:
+                continue
             bits[index] ^= 1
-            flipped += 1
-        return self.constraints.sanitize_bits(bits)
+            flipped.add(index)
+        return bits
+
+    def _mutate(self, individual: FlagVector) -> FlagVector:
+        return self.constraints.sanitize_bits(self._mutate_bits(individual.to_bits()))
 
     def _select(self, scored: List[Tuple[float, FlagVector]]) -> FlagVector:
         contenders = [self._rng.choice(scored) for _ in range(self.parameters.tournament_size)]
@@ -102,7 +189,7 @@ class GeneticAlgorithm:
 
     def run(
         self,
-        fitness: FitnessFunction,
+        fitness: AnyFitness,
         max_iterations: int = 600,
         target_growth_rate: float = 0.0035,
         stall_window: int = 60,
@@ -116,30 +203,11 @@ class GeneticAlgorithm:
         Returns (best flags, best fitness, evaluations used).
         """
         population = self._seed_population()
-        evaluations = 0
-        best_flags = population[0]
-        best_fitness = float("-inf")
-        history: List[float] = []
-        scored: List[Tuple[float, FlagVector]] = []
+        tracker = _ProgressTracker(fitness, max_iterations, observer)
+        tracker.best_flags = population[0]
 
-        def evaluate(individual: FlagVector) -> float:
-            nonlocal evaluations, best_flags, best_fitness
-            score = fitness(individual)
-            evaluations += 1
-            if score > best_fitness:
-                best_fitness = score
-                best_flags = individual
-            history.append(best_fitness)
-            if observer is not None:
-                observer(evaluations, individual, score)
-            return score
-
-        for individual in population:
-            if evaluations >= max_iterations:
-                break
-            scored.append((evaluate(individual), individual))
-
-        while evaluations < max_iterations:
+        scored = tracker.evaluate(population)
+        while tracker.budget_left > 0:
             scored.sort(key=lambda item: -item[0])
             elites = [individual for _, individual in scored[: self.parameters.elite_count]]
             next_generation: List[FlagVector] = list(elites)
@@ -148,16 +216,13 @@ class GeneticAlgorithm:
                 father = self._select(scored)
                 child = self._mutate(self._crossover(mother, father))
                 next_generation.append(child)
-            scored = []
-            for individual in next_generation:
-                if evaluations >= max_iterations:
-                    break
-                scored.append((evaluate(individual), individual))
-            if self._stalled(history, stall_window, target_growth_rate):
+            scored = tracker.evaluate(next_generation)
+            if self._stalled(tracker.history, stall_window, target_growth_rate):
                 break
             if not scored:
                 break
-        return best_flags, best_fitness, evaluations
+        assert tracker.best_flags is not None
+        return tracker.best_flags, tracker.best_fitness, tracker.evaluations
 
     @staticmethod
     def _stalled(history: Sequence[float], window: int, threshold: float) -> bool:
@@ -172,36 +237,45 @@ class GeneticAlgorithm:
 
 @dataclass
 class HillClimber:
-    """Single-flag hill climbing baseline (local search)."""
+    """Single-flag hill climbing baseline (local search).
+
+    Batch-first: each round probes ``probe_batch_size`` random single-flag
+    neighbours of the current point at once and moves to the best improving
+    one — the parallel analogue of the classic accept-first walk.
+    """
 
     registry: FlagRegistry
     constraints: ConstraintEngine
     seed: int = 7
+    probe_batch_size: int = 8
 
     def run(
         self,
-        fitness: FitnessFunction,
+        fitness: AnyFitness,
         max_iterations: int = 300,
         observer: Optional[SearchObserver] = None,
         start_level: str = "O2",
     ) -> Tuple[FlagVector, float, int]:
         rng = random.Random(self.seed)
+        tracker = _ProgressTracker(fitness, max_iterations, observer)
         current = self.constraints.repair(self.registry.preset(start_level))
-        current_fitness = fitness(current)
-        evaluations = 1
-        if observer is not None:
-            observer(evaluations, current, current_fitness)
+        scored_start = tracker.evaluate([current])
+        if not scored_start:  # zero evaluation budget
+            return current, float("-inf"), 0
+        [(current_fitness, _)] = scored_start
         names = self.registry.flag_names()
-        while evaluations < max_iterations:
-            name = rng.choice(names)
-            candidate = self.constraints.repair(current.with_flag(name, name not in current))
-            score = fitness(candidate)
-            evaluations += 1
-            if observer is not None:
-                observer(evaluations, candidate, score)
-            if score > current_fitness:
-                current, current_fitness = candidate, score
-        return current, current_fitness, evaluations
+        while tracker.budget_left > 0:
+            probes: List[FlagVector] = []
+            for _ in range(min(self.probe_batch_size, tracker.budget_left)):
+                name = rng.choice(names)
+                probes.append(self.constraints.repair(current.with_flag(name, name not in current)))
+            scored = tracker.evaluate(probes)
+            if not scored:
+                break
+            best_score, best_candidate = max(scored, key=lambda item: item[0])
+            if best_score > current_fitness:
+                current, current_fitness = best_candidate, best_score
+        return current, current_fitness, tracker.evaluations
 
 
 @dataclass
@@ -211,25 +285,24 @@ class RandomSearch:
     registry: FlagRegistry
     constraints: ConstraintEngine
     seed: int = 11
+    probe_batch_size: int = 16
 
     def run(
         self,
-        fitness: FitnessFunction,
+        fitness: AnyFitness,
         max_iterations: int = 300,
         observer: Optional[SearchObserver] = None,
     ) -> Tuple[FlagVector, float, int]:
         rng = random.Random(self.seed)
         names = self.registry.flag_names()
-        best: Optional[FlagVector] = None
-        best_fitness = float("-inf")
-        for iteration in range(1, max_iterations + 1):
-            density = rng.uniform(0.1, 0.9)
-            bits = [1 if rng.random() < density else 0 for _ in names]
-            candidate = self.constraints.sanitize_bits(bits)
-            score = fitness(candidate)
-            if observer is not None:
-                observer(iteration, candidate, score)
-            if score > best_fitness:
-                best, best_fitness = candidate, score
-        assert best is not None
-        return best, best_fitness, max_iterations
+        tracker = _ProgressTracker(fitness, max_iterations, observer)
+        while tracker.budget_left > 0:
+            batch: List[FlagVector] = []
+            for _ in range(min(self.probe_batch_size, tracker.budget_left)):
+                density = rng.uniform(0.1, 0.9)
+                bits = [1 if rng.random() < density else 0 for _ in names]
+                batch.append(self.constraints.sanitize_bits(bits))
+            if not tracker.evaluate(batch):
+                break
+        assert tracker.best_flags is not None
+        return tracker.best_flags, tracker.best_fitness, tracker.evaluations

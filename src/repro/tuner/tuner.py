@@ -5,22 +5,34 @@ interface, the constraint engine, the fitness function (NCD against the O0
 baseline by default, BinHunt score optionally) and the genetic-algorithm
 search, recording every iteration in the tuning database and returning the
 best configuration plus its binary.
+
+Candidate evaluation itself lives in :mod:`repro.tuner.evaluation`: the
+orchestrator builds an :class:`EvaluationEngine` around a picklable
+compile+emulate+score worker, and the search strategies submit whole
+generations to it.  ``BinTunerConfig.workers`` / ``executor`` choose between
+the deterministic serial executor and a process pool; results are recorded in
+generation order either way, so runs are reproducible for any worker count.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.emulator import EmulationError, run_program
+from repro.analysis.emulator import run_program
 from repro.backend.binary import BinaryImage
-from repro.compilers.base import CompilationError, Compiler
+from repro.compilers.base import Compiler
 from repro.difftools.binhunt import BinHunt
-from repro.difftools.ncd import NCDFitness
 from repro.opt.flags import FlagVector
 from repro.tuner.constraints import ConstraintEngine
-from repro.tuner.database import IterationRecord, TuningDatabase
+from repro.tuner.database import TuningDatabase
+from repro.tuner.evaluation import (
+    EvaluationEngine,
+    EvaluationStats,
+    TunerCandidateEvaluator,
+    make_fitness,
+)
 from repro.tuner.search import GAParameters, GeneticAlgorithm, HillClimber, RandomSearch
 
 
@@ -82,6 +94,12 @@ class BinTunerConfig:
     require_functional_correctness: bool = True
     invalid_fitness: float = -1.0
     max_emulation_steps: int = 2_000_000
+    #: Evaluation-engine knobs: "serial" runs candidates in-process (the
+    #: deterministic default), "process" dispatches each generation to a
+    #: ``ProcessPoolExecutor`` with ``workers`` processes.  ``workers > 1``
+    #: implies the process executor.
+    executor: str = "serial"
+    workers: int = 1
 
 
 @dataclass
@@ -97,6 +115,7 @@ class TuningResult:
     elapsed_seconds: float
     database: TuningDatabase
     baseline_image: BinaryImage
+    evaluation_stats: Optional[EvaluationStats] = None
 
     def ncd_history(self) -> List[float]:
         return self.database.fitness_history()
@@ -119,7 +138,7 @@ class BinTuner:
         self._baseline: Optional[BinaryImage] = None
         self._baseline_behaviour = None
         self._fitness_callable: Optional[Callable[[BinaryImage], float]] = None
-        self._generation = 0
+        self._engine: Optional[EvaluationEngine] = None
 
     # -- baseline -------------------------------------------------------------------
 
@@ -143,53 +162,50 @@ class BinTuner:
 
     def _make_fitness(self) -> Callable[[BinaryImage], float]:
         if self._fitness_callable is None:
-            baseline = self.baseline_image()
-            if self.config.fitness_kind == "binhunt":
-                self._fitness_callable = BinHuntFitness(baseline)
-            else:
-                self._fitness_callable = NCDFitness(baseline, compressor=self.config.compressor)
+            self._fitness_callable = make_fitness(
+                self.config.fitness_kind, self.baseline_image(), self.config.compressor
+            )
         return self._fitness_callable
 
     # -- evaluation --------------------------------------------------------------------
 
+    def evaluation_engine(self) -> EvaluationEngine:
+        """The batched evaluation engine (built lazily, shared by all runs)."""
+        if self._engine is None:
+            baseline = self.baseline_image()
+            evaluator = TunerCandidateEvaluator(
+                compiler=self.compiler,
+                source=self.spec.source,
+                name=self.spec.name,
+                baseline=baseline,
+                baseline_behaviour=self._baseline_behaviour,
+                arguments=tuple(self.spec.arguments),
+                inputs=tuple(self.spec.inputs),
+                fitness_kind=self.config.fitness_kind,
+                compressor=self.config.compressor,
+                invalid_fitness=self.config.invalid_fitness,
+                max_emulation_steps=self.config.max_emulation_steps,
+            )
+            self._engine = EvaluationEngine(
+                evaluator,
+                database=self.database,
+                executor=self.config.executor,
+                workers=self.config.workers,
+            )
+        return self._engine
+
     def evaluate(self, flags: FlagVector) -> float:
         """Compile with ``flags`` and return the fitness score (cached)."""
-        cached = self.database.lookup(flags.sorted_names())
-        if cached is not None:
-            return cached.fitness
-        fitness_fn = self._make_fitness()
-        started = time.perf_counter()
-        valid = True
-        try:
-            flags = self.constraints.check(flags)
-            compiled = self.compiler.compile(self.spec.source, flags, name=self.spec.name)
-            image = compiled.image
-            if self.config.require_functional_correctness and self.spec.check_output:
-                if self._behaviour(image) != self._baseline_behaviour:
-                    raise CompilationError("tuned binary changed observable behaviour")
-            score = fitness_fn(image)
-            code_size = image.code_size()
-            fingerprint = image.fingerprint()
-        except (CompilationError, EmulationError, Exception) as exc:  # noqa: BLE001
-            # A conflicting flag set or a miscompiled binary scores the
-            # configured penalty, exactly like a failed compilation iteration.
-            score = self.config.invalid_fitness
-            code_size = 0
-            fingerprint = "invalid"
-            valid = False
-        self.database.record(
-            IterationRecord(
-                iteration=len(self.database) + 1,
-                flags=tuple(flags.sorted_names()),
-                fitness=score,
-                code_size=code_size,
-                fingerprint=fingerprint,
-                elapsed_seconds=time.perf_counter() - started,
-                generation=self._generation,
-                valid=valid,
-            )
-        )
-        return score
+        return self.evaluation_engine().evaluate(flags)
+
+    def evaluate_batch(self, batch: Sequence[FlagVector]) -> List[float]:
+        """Evaluate a whole generation through the engine."""
+        return self.evaluation_engine().evaluate_batch(batch)
+
+    def close(self) -> None:
+        """Shut down evaluation workers (serial runs: no-op)."""
+        if self._engine is not None:
+            self._engine.close()
 
     # -- search -----------------------------------------------------------------------
 
@@ -204,21 +220,28 @@ class BinTuner:
         """Run the full tuning loop and return the best configuration found."""
         started = time.perf_counter()
         baseline = self.baseline_image()
+        engine = self.evaluation_engine()
+        stats_before = replace(engine.stats)
         search = self._build_search()
-        if isinstance(search, GeneticAlgorithm):
-            best_flags, best_fitness, evaluations = search.run(
-                self.evaluate,
-                max_iterations=self.config.max_iterations,
-                target_growth_rate=self.config.target_growth_rate,
-                stall_window=self.config.stall_window,
-                observer=observer,
-            )
-        else:
-            best_flags, best_fitness, evaluations = search.run(
-                self.evaluate,
-                max_iterations=self.config.max_iterations,
-                observer=observer,
-            )
+        try:
+            if isinstance(search, GeneticAlgorithm):
+                best_flags, best_fitness, evaluations = search.run(
+                    engine,
+                    max_iterations=self.config.max_iterations,
+                    target_growth_rate=self.config.target_growth_rate,
+                    stall_window=self.config.stall_window,
+                    observer=observer,
+                )
+            else:
+                best_flags, best_fitness, evaluations = search.run(
+                    engine,
+                    max_iterations=self.config.max_iterations,
+                    observer=observer,
+                )
+        finally:
+            # Worker processes do not outlive the run; the engine (and its
+            # database/stats) stays usable for follow-up evaluate() calls.
+            engine.close()
         best_image = self.compiler.compile(self.spec.source, best_flags, name=self.spec.name).image
         return TuningResult(
             program=self.spec.name,
@@ -232,6 +255,9 @@ class BinTuner:
             elapsed_seconds=time.perf_counter() - started,
             database=self.database,
             baseline_image=baseline,
+            # Per-run counters: the engine is shared across runs of this
+            # tuner, so report only what this run accrued.
+            evaluation_stats=engine.stats.since(stats_before),
         )
 
     # -- convenience -------------------------------------------------------------------

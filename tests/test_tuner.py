@@ -88,6 +88,18 @@ class TestConstraints:
         once = engine.sanitize_bits(bits)
         assert engine.repair(once).enabled == once.enabled
 
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 20210620])
+    def test_sanitize_invariants_over_seeded_bit_vectors(self, registry, engine, seed):
+        """Seeded randomized sweep: sanitize is always valid and idempotent."""
+        rng = random.Random(seed)
+        for _ in range(40):
+            density = rng.random()
+            bits = [1 if rng.random() < density else 0 for _ in range(len(registry))]
+            repaired = engine.sanitize_bits(bits)
+            assert engine.is_valid(repaired)
+            again = engine.repair(repaired)
+            assert again.enabled == repaired.enabled
+
 
 class _CountingFitness:
     """A cheap synthetic fitness: rewards vectors close to a hidden target."""
@@ -138,6 +150,87 @@ class TestSearchEngines:
         assert evals == 40 and engine.is_valid(best)
         best, score, evals = RandomSearch(registry, engine).run(fitness, max_iterations=30)
         assert evals == 30 and engine.is_valid(best)
+
+    def test_strategies_accept_batch_evaluators(self, registry, engine):
+        """The batch-first protocol: a batch object sees whole generations."""
+
+        class BatchFitness:
+            def __init__(self, inner):
+                self.inner = inner
+                self.batch_sizes = []
+
+            def evaluate_batch(self, batch):
+                self.batch_sizes.append(len(batch))
+                return [self.inner(vector) for vector in batch]
+
+        for strategy in (
+            GeneticAlgorithm(registry, engine, GAParameters(population_size=6, seed=2)),
+            HillClimber(registry, engine),
+            RandomSearch(registry, engine),
+        ):
+            fitness = BatchFitness(_CountingFitness(registry))
+            best, _, evals = strategy.run(fitness, max_iterations=20)
+            assert evals == sum(fitness.batch_sizes) == 20
+            assert max(fitness.batch_sizes) > 1  # generations, not singletons
+            assert engine.is_valid(best)
+
+
+class TestMutationGuarantee:
+    def _ga(self, registry, engine, **kwargs):
+        return GeneticAlgorithm(registry, engine, GAParameters(**kwargs))
+
+    def test_fallback_never_reverts_a_flip(self, registry, engine):
+        """Regression: with mutation_rate=0 the fallback loop used to pick an
+        already-flipped index and revert it, so "at least N mutations" could
+        silently become zero.  On a 3-bit chromosome collisions are frequent;
+        every outcome must differ in exactly must_mutate_count positions."""
+        ga = self._ga(registry, engine, mutation_rate=0.0, must_mutate_count=2, seed=0)
+        for _ in range(300):
+            bits = [0, 0, 0]
+            mutated = ga._mutate_bits(list(bits))
+            assert sum(a != b for a, b in zip(bits, mutated)) == 2
+
+    def test_minimum_flips_across_seeds(self, registry, engine):
+        for seed in range(25):
+            ga = self._ga(registry, engine, mutation_rate=0.02, must_mutate_count=3, seed=seed)
+            bits = [0] * len(registry)
+            mutated = ga._mutate_bits(list(bits))
+            assert sum(a != b for a, b in zip(bits, mutated)) >= 3
+
+    def test_must_mutate_count_capped_by_chromosome_length(self, registry, engine):
+        ga = self._ga(registry, engine, mutation_rate=0.0, must_mutate_count=10, seed=1)
+        mutated = ga._mutate_bits([0, 1])
+        assert sum(a != b for a, b in zip([0, 1], mutated)) == 2  # all bits, no hang
+
+    def test_mutate_returns_valid_vector(self, registry, engine):
+        ga = self._ga(registry, engine, seed=5)
+        vector = registry.preset("O2")
+        assert engine.is_valid(ga._mutate(vector))
+
+
+class TestStallDetection:
+    def test_exactly_window_length_history_is_not_stalled(self):
+        history = [0.5] * 20
+        assert not GeneticAlgorithm._stalled(history, window=20, threshold=0.01)
+        assert GeneticAlgorithm._stalled([0.5] * 21, window=20, threshold=0.01)
+
+    def test_empty_and_short_history(self):
+        assert not GeneticAlgorithm._stalled([], window=10, threshold=0.01)
+        assert not GeneticAlgorithm._stalled([1.0], window=10, threshold=0.01)
+
+    def test_non_positive_previous_best(self):
+        # previous == 0: stalled only if no growth at all.
+        assert GeneticAlgorithm._stalled([0.0, 0.0, 0.0], window=1, threshold=0.01)
+        assert not GeneticAlgorithm._stalled([0.0, 0.0, 0.5], window=1, threshold=0.01)
+        # previous < 0 (penalty scores): any climb above it keeps searching.
+        assert not GeneticAlgorithm._stalled([-1.0, -1.0, 0.4], window=1, threshold=0.01)
+        assert GeneticAlgorithm._stalled([-1.0, -1.0, -1.0], window=1, threshold=0.01)
+
+    def test_relative_growth_threshold(self):
+        grown = [1.0, 1.0, 1.02]
+        assert not GeneticAlgorithm._stalled(grown, window=1, threshold=0.01)
+        flat = [1.0, 1.0, 1.005]
+        assert GeneticAlgorithm._stalled(flat, window=1, threshold=0.01)
 
 
 class TestDatabase:
@@ -218,6 +311,26 @@ class TestBinTunerEndToEnd:
         registry = llvm.registry
         invalid = FlagVector(registry, frozenset({"-fpartial-inlining"}))
         assert tuner.evaluate(invalid) == tuner.config.invalid_fitness
+
+    def test_programming_errors_escape_evaluate(self, llvm, monkeypatch):
+        """Only domain failures may score the penalty; an injected TypeError
+        must propagate instead of becoming an invalid_fitness record."""
+        spec = BuildSpec(name="tiny", source=TINY_SOURCE)
+        tuner = BinTuner(llvm, spec, BinTunerConfig(max_iterations=5))
+        tuner.evaluation_engine()  # build the baseline before breaking compile
+
+        def broken_compile(*args, **kwargs):
+            raise TypeError("injected bug")
+
+        monkeypatch.setattr(llvm, "compile", broken_compile)
+        records_before = len(tuner.database)
+        with pytest.raises(TypeError):
+            tuner.evaluate(llvm.preset("O1"))
+        assert len(tuner.database) == records_before  # no bogus penalty record
+
+    def test_parallel_config_knobs_default_to_serial(self):
+        config = BinTunerConfig()
+        assert config.workers == 1 and config.executor == "serial"
 
     def test_flag_potency_report(self, llvm, tuning_result):
         tuner, result = tuning_result
