@@ -13,6 +13,9 @@ The package rebuilds the paper's whole pipeline from scratch in Python:
   Figure-8 tool set (:mod:`repro.difftools`);
 * **BinTuner**, the paper's contribution: GA-driven iterative compilation that
   maximizes binary code difference (:mod:`repro.tuner`);
+* campaign orchestration: suite × compiler tuning matrices over one shared
+  worker pool and sharded database, with checkpoint/resume and cross-program
+  warm starts (:mod:`repro.campaign`, ``python -m repro.campaign``);
 * workloads, IoT-malware/AV simulation and compiler-provenance recovery
   (:mod:`repro.workloads`, :mod:`repro.malware`, :mod:`repro.provenance`);
 * experiment drivers regenerating every table and figure
@@ -43,6 +46,7 @@ __all__ = [
     "analysis",
     "difftools",
     "tuner",
+    "campaign",
     "workloads",
     "malware",
     "provenance",

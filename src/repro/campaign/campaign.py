@@ -1,0 +1,368 @@
+"""The campaign orchestrator: suite-scale tuning over a programs × compilers matrix.
+
+The paper's headline numbers (Table 1, Figs. 5-8) are *suite* results — every
+SPEC/Coreutils/OpenSSL benchmark tuned per compiler — while :class:`BinTuner`
+drives exactly one program.  :class:`Campaign` is the layer between them:
+
+* it iterates a deterministic job list (one ``(compiler family, program)``
+  pair per job) and drives one :class:`BinTuner` per job;
+* all jobs share a single :class:`~repro.campaign.pool.SharedWorkerPool`, so
+  a multi-worker campaign pays process spawn once, not once per program;
+* every job's records land in its shard of one
+  :class:`~repro.campaign.database.CampaignDatabase` — dedup stays
+  per-program, aggregation is campaign-wide;
+* with a ``checkpoint_dir``, the campaign writes a JSON checkpoint after
+  every completed generation and every completed program.  A killed campaign
+  resumes from the last completed generation: finished programs are
+  reconstructed from the manifest, and the in-progress program *replays* its
+  seeded search against the checkpointed shard — every already-evaluated
+  candidate is a database hit, so the resumed run converges to a database
+  bit-for-bit identical (timing aside) to an uninterrupted one, for any
+  worker count;
+* the best flag vectors of finished programs seed the initial GA population
+  of later same-family programs (cross-program warm starts) — a scenario the
+  serial per-program design could not express.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.backend.binary import BinaryImage
+from repro.compilers import SimGCC, SimLLVM
+from repro.compilers.base import Compiler
+from repro.campaign.database import CampaignDatabase, ShardKey
+from repro.campaign.pool import SharedWorkerPool
+from repro.tuner.database import write_text_atomic
+from repro.tuner import BinTuner, BinTunerConfig, BuildSpec, EvaluationStats, TuningResult
+from repro.workloads import benchmark, suite_benchmarks
+
+MANIFEST_VERSION = 1
+
+#: Subdirectory of the checkpoint dir holding the sharded database.
+DATABASE_DIR = "database"
+
+
+@dataclass(frozen=True)
+class ProgramJob:
+    """One unit of campaign work: tune one program with one compiler family."""
+
+    family: str
+    program: str
+
+    def key(self) -> ShardKey:
+        return (self.family, self.program)
+
+
+def default_compiler_provider(family: str) -> Compiler:
+    """Fresh simulated compiler per job (no cross-program compiler state)."""
+    if family == "gcc":
+        return SimGCC()
+    if family == "llvm":
+        return SimLLVM()
+    raise KeyError(f"unknown compiler family {family!r}")
+
+
+def workload_spec_provider(job: ProgramJob) -> BuildSpec:
+    """Default spec source: the benchmark workload corpus."""
+    workload = benchmark(job.program)
+    return BuildSpec(
+        name=workload.name,
+        source=workload.source,
+        arguments=workload.arguments,
+        inputs=workload.inputs,
+    )
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign run."""
+
+    name: str = "campaign"
+    tuner: BinTunerConfig = field(default_factory=BinTunerConfig)
+    #: Worker-pool knobs, shared across every program of the campaign (they
+    #: override the per-tuner ``executor``/``workers`` fields).
+    executor: str = "serial"
+    workers: int = 1
+    #: Seed later programs' GA populations with earlier programs' best flags.
+    warm_start: bool = True
+    #: At most this many prior bests are injected per program.
+    warm_start_limit: int = 4
+    #: Where checkpoints live; ``None`` disables checkpointing.
+    checkpoint_dir: Optional[Path] = None
+
+
+@dataclass
+class ProgramResult:
+    """Outcome of one job (live-tuned, or reconstructed from a checkpoint)."""
+
+    job: ProgramJob
+    best_flags: Tuple[str, ...]
+    best_fitness: float
+    iterations: int
+    elapsed_seconds: float
+    warm_start: Tuple[Tuple[str, ...], ...] = ()
+    #: True when this job finished in a *previous* run and was reconstructed
+    #: from the checkpoint manifest instead of being re-tuned.
+    resumed: bool = False
+    best_image: Optional[BinaryImage] = None
+    evaluation_stats: Optional[EvaluationStats] = None
+    tuning: Optional[TuningResult] = None
+
+    def as_manifest_entry(self) -> Dict[str, object]:
+        return {
+            "family": self.job.family,
+            "program": self.job.program,
+            "best_flags": list(self.best_flags),
+            "best_fitness": self.best_fitness,
+            "iterations": self.iterations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "warm_start": [list(flags) for flags in self.warm_start],
+        }
+
+    @classmethod
+    def from_manifest_entry(cls, entry: Dict[str, object]) -> "ProgramResult":
+        return cls(
+            job=ProgramJob(family=entry["family"], program=entry["program"]),
+            best_flags=tuple(entry["best_flags"]),
+            best_fitness=entry["best_fitness"],
+            iterations=entry["iterations"],
+            elapsed_seconds=entry["elapsed_seconds"],
+            warm_start=tuple(tuple(flags) for flags in entry.get("warm_start", [])),
+            resumed=True,
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    database: CampaignDatabase
+    programs: List[ProgramResult]
+    elapsed_seconds: float
+    #: True when ``run(limit=...)`` stopped before the job list was done.
+    interrupted: bool = False
+
+    def result_for(self, family: str, program: str) -> ProgramResult:
+        for result in self.programs:
+            if result.job.key() == (family, program):
+                return result
+        raise KeyError(f"no result for {(family, program)!r}")
+
+    def fingerprint(self) -> str:
+        return self.database.fingerprint()
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        return self.database.summary_rows()
+
+
+class Campaign:
+    """Drives one :class:`BinTuner` per job over a shared pool and database."""
+
+    def __init__(
+        self,
+        jobs: Iterable[ProgramJob],
+        config: Optional[CampaignConfig] = None,
+        compiler_provider: Callable[[str], Compiler] = default_compiler_provider,
+        spec_provider: Callable[[ProgramJob], BuildSpec] = workload_spec_provider,
+        database: Optional[CampaignDatabase] = None,
+    ) -> None:
+        self.jobs = list(jobs)
+        if len({job.key() for job in self.jobs}) != len(self.jobs):
+            raise ValueError("duplicate (family, program) jobs in campaign")
+        self.config = config or CampaignConfig()
+        self.compiler_provider = compiler_provider
+        self.spec_provider = spec_provider
+        self.database = database if database is not None else CampaignDatabase(
+            name=self.config.name
+        )
+
+    @classmethod
+    def from_suites(
+        cls,
+        suites: Sequence[str],
+        families: Sequence[str] = ("llvm", "gcc"),
+        config: Optional[CampaignConfig] = None,
+        **kwargs,
+    ) -> "Campaign":
+        """The paper's matrix: every suite benchmark × every compiler family,
+        honouring the per-compiler build-error exclusions (§5, footnote 2)."""
+        jobs = [
+            ProgramJob(family=family, program=workload.name)
+            for family in families
+            for suite in suites
+            for workload in suite_benchmarks(suite, family)
+        ]
+        return cls(jobs, config=config, **kwargs)
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def _manifest_path(self) -> Optional[Path]:
+        if self.config.checkpoint_dir is None:
+            return None
+        return Path(self.config.checkpoint_dir) / "manifest.json"
+
+    def _database_dir(self) -> Optional[Path]:
+        if self.config.checkpoint_dir is None:
+            return None
+        return Path(self.config.checkpoint_dir) / DATABASE_DIR
+
+    def _write_manifest(self, completed: List[ProgramResult]) -> None:
+        path = self._manifest_path()
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "name": self.config.name,
+            "jobs": [[job.family, job.program] for job in self.jobs],
+            "completed": [result.as_manifest_entry() for result in completed],
+        }
+        write_text_atomic(path, json.dumps(manifest, indent=2))
+
+    def _discard_checkpoint(self) -> None:
+        path = self._manifest_path()
+        if path is not None and path.exists():
+            path.unlink()
+        database_dir = self._database_dir()
+        if database_dir is not None and database_dir.exists():
+            shutil.rmtree(database_dir)
+
+    def _load_checkpoint(self) -> Dict[ShardKey, ProgramResult]:
+        """Restore the database and completed-job map from the checkpoint.
+
+        The database is loaded independently of the manifest: a campaign
+        killed inside its *first* program has checkpointed generations on
+        disk but no completed-program manifest yet, and those generations
+        must still be replayed as cache hits on resume.
+        """
+        database_dir = self._database_dir()
+        if database_dir is not None and (database_dir / "index.json").exists():
+            self.database = CampaignDatabase.load(database_dir)
+        path = self._manifest_path()
+        if path is None or not path.exists():
+            return {}
+        manifest = json.loads(path.read_text())
+        stored_jobs = [tuple(pair) for pair in manifest.get("jobs", [])]
+        if stored_jobs != [job.key() for job in self.jobs]:
+            raise ValueError(
+                f"checkpoint at {path.parent} was written for a different job "
+                f"list; pass resume=False (or a fresh checkpoint_dir) to discard it"
+            )
+        return {
+            (entry["family"], entry["program"]): ProgramResult.from_manifest_entry(entry)
+            for entry in manifest.get("completed", [])
+        }
+
+    # -- warm starts ------------------------------------------------------------------
+
+    def _warm_seeds(self, job: ProgramJob, prior: List[ProgramResult]) -> Tuple[Tuple[str, ...], ...]:
+        """Best flag tuples of finished same-family programs, fittest first.
+
+        Flag names are compiler-specific, so cross-*family* seeding would
+        inject unknown names (the tuner drops them, degrading the seed to
+        noise); the campaign therefore warm-starts within a family only.
+        """
+        if not self.config.warm_start:
+            return ()
+        donors = [
+            result for result in prior
+            if result.job.family == job.family and result.best_flags
+            and result.best_fitness > 0.0
+        ]
+        donors.sort(key=lambda result: (-result.best_fitness, result.job.program))
+        return tuple(result.best_flags for result in donors[: self.config.warm_start_limit])
+
+    # -- execution --------------------------------------------------------------------
+
+    def _run_job(
+        self,
+        job: ProgramJob,
+        pool: SharedWorkerPool,
+        prior: List[ProgramResult],
+    ) -> ProgramResult:
+        spec = self.spec_provider(job)
+        compiler = self.compiler_provider(job.family)
+        warm = self._warm_seeds(job, prior)
+        tuner = BinTuner(
+            compiler,
+            spec,
+            replace(self.config.tuner, warm_start=warm),
+            database=self.database.shard(job.family, job.program),
+            mapper_factory=pool.mapper,
+        )
+        database_dir = self._database_dir()
+        if database_dir is not None:
+            # Per-generation checkpoint: every batch that produced new records
+            # flushes this job's shard (plus the index) to disk.
+            tuner.evaluation_engine().on_batch = (
+                lambda _engine: self.database.save_shard(job.family, job.program, database_dir)
+            )
+        result = tuner.run()
+        return ProgramResult(
+            job=job,
+            best_flags=tuple(result.best_flags.sorted_names()),
+            best_fitness=result.best_fitness,
+            iterations=result.iterations,
+            elapsed_seconds=result.elapsed_seconds,
+            warm_start=warm,
+            best_image=result.best_image,
+            evaluation_stats=result.evaluation_stats,
+            tuning=result,
+        )
+
+    def run(self, limit: Optional[int] = None, resume: bool = True) -> CampaignResult:
+        """Run (or resume) the campaign.
+
+        ``limit`` caps how many *not-yet-completed* jobs run before returning
+        with ``interrupted=True`` — the programmatic stand-in for killing the
+        process, used by the resume tests and incremental CLI runs.  With
+        ``resume=False`` an existing checkpoint is *deleted* before anything
+        runs: keeping a stale manifest around while fresh shards overwrite
+        the database would poison a later resume with contradictory state.
+        """
+        started = time.perf_counter()
+        if resume:
+            completed = self._load_checkpoint()
+        else:
+            completed = {}
+            self._discard_checkpoint()
+        if self._manifest_path() is not None:
+            # Written up front (not just per completed program) so the
+            # job-list mismatch guard protects even a campaign killed inside
+            # its first program.
+            self._write_manifest(
+                [completed[job.key()] for job in self.jobs if job.key() in completed]
+            )
+        programs: List[ProgramResult] = []
+        ran = 0
+        interrupted = False
+        pool = SharedWorkerPool(self.config.executor, self.config.workers)
+        try:
+            for job in self.jobs:
+                restored = completed.get(job.key())
+                if restored is not None:
+                    programs.append(restored)
+                    continue
+                if limit is not None and ran >= limit:
+                    interrupted = True
+                    break
+                programs.append(self._run_job(job, pool, programs))
+                ran += 1
+                database_dir = self._database_dir()
+                if database_dir is not None:
+                    self.database.save_shard(job.family, job.program, database_dir)
+                    self._write_manifest(programs)
+        finally:
+            pool.close()
+        return CampaignResult(
+            database=self.database,
+            programs=programs,
+            elapsed_seconds=time.perf_counter() - started,
+            interrupted=interrupted,
+        )

@@ -1,0 +1,132 @@
+"""``python -m repro.campaign``: run a tuning campaign from the command line.
+
+Examples::
+
+    # Tune the whole Coreutils suite under both compiler families
+    python -m repro.campaign --suites coreutils --families llvm,gcc
+
+    # A quick resumable two-program campaign (kill it and rerun to resume)
+    python -m repro.campaign --benchmarks 462.libquantum,429.mcf \\
+        --families llvm --max-iterations 24 --checkpoint-dir /tmp/campaign
+
+    # Same campaign on a shared 4-worker process pool
+    python -m repro.campaign --benchmarks 462.libquantum,429.mcf \\
+        --families llvm --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.campaign.campaign import Campaign, CampaignConfig, ProgramJob
+from repro.tuner import BinTunerConfig, GAParameters
+from repro.workloads import SUITES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Tune a benchmark suite x compiler matrix with BinTuner.",
+    )
+    parser.add_argument("--suites", default="",
+                        help=f"comma-separated suites ({', '.join(SUITES)}); "
+                             "default: all suites unless --benchmarks is given")
+    parser.add_argument("--benchmarks", default="",
+                        help="comma-separated benchmark names (overrides --suites)")
+    parser.add_argument("--families", default="llvm,gcc",
+                        help="comma-separated compiler families (default: llvm,gcc)")
+    parser.add_argument("--max-iterations", type=int, default=60,
+                        help="per-program evaluation budget (default: 60)")
+    parser.add_argument("--population", type=int, default=12,
+                        help="GA population size (default: 12)")
+    parser.add_argument("--stall-window", type=int, default=30,
+                        help="GA stall window (default: 30)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shared worker-pool size; >1 implies a process pool")
+    parser.add_argument("--executor", choices=("serial", "process"), default="serial")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="enable per-generation checkpointing under this directory")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore an existing checkpoint instead of resuming")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="run at most N not-yet-completed programs, then stop")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="disable cross-program warm-start seeding")
+    parser.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write the summary (rows + aggregates) to this JSON file")
+    return parser
+
+
+def _build_campaign(args: argparse.Namespace) -> Campaign:
+    config = CampaignConfig(
+        tuner=BinTunerConfig(
+            max_iterations=args.max_iterations,
+            ga=GAParameters(population_size=args.population),
+            stall_window=args.stall_window,
+        ),
+        executor=args.executor,
+        workers=args.workers,
+        warm_start=not args.no_warm_start,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    families = [family for family in args.families.split(",") if family]
+    if args.benchmarks:
+        names = [name for name in args.benchmarks.split(",") if name]
+        jobs = [ProgramJob(family, name) for family in families for name in names]
+        return Campaign(jobs, config)
+    suites = [suite for suite in args.suites.split(",") if suite] or list(SUITES)
+    # The library owns the suite x family matrix (exclusions included).
+    return Campaign.from_suites(suites, families, config)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    campaign = _build_campaign(args)
+    jobs = campaign.jobs
+    if not jobs:
+        print("no jobs to run (empty suite/family selection)", file=sys.stderr)
+        return 2
+    print(f"campaign: {len(jobs)} jobs "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
+          f"warm-start {'off' if args.no_warm_start else 'on'})")
+    result = campaign.run(limit=args.limit, resume=not args.fresh)
+
+    programs = {program.job.key(): program for program in result.programs}
+    for row in result.summary_rows():
+        # A shard can exist without a program result: a campaign killed (or
+        # --limit'ed) mid-program leaves its partial records checkpointed.
+        program = programs.get((row["compiler"], row["benchmark"]))
+        if program is None:
+            marker = " (in progress)"
+        elif program.resumed:
+            marker = " (resumed)"
+        else:
+            marker = ""
+        print(f"  {row['compiler']:5s} {row['benchmark']:18s} "
+              f"iterations {row['iterations']:4d}  "
+              f"best fitness {row['best_fitness']}{marker}")
+    if result.interrupted:
+        print(f"interrupted after --limit {args.limit}; rerun to resume")
+
+    frequency = result.database.flag_frequency()
+    if frequency:
+        top = sorted(frequency.items(), key=lambda item: (-item[1], item[0]))[:10]
+        print("top flags across best configurations:")
+        for flag, share in top:
+            print(f"  {flag:28s} {share:.0%}")
+    print(f"database fingerprint: {result.fingerprint()}")
+    print(f"elapsed: {result.elapsed_seconds:.1f}s over {result.database.total_records()} records")
+
+    if args.json_out is not None:
+        payload = {
+            "summary": result.summary_rows(),
+            "flag_frequency": frequency,
+            "fingerprint": result.fingerprint(),
+            "interrupted": result.interrupted,
+        }
+        args.json_out.write_text(json.dumps(payload, indent=2))
+    return 0

@@ -1,0 +1,118 @@
+"""A worker pool shared by every program of a campaign.
+
+PR 1's :class:`~repro.tuner.evaluation.ProcessPoolMapper` installs one
+evaluator per pool at initializer time, which ties a pool to a single program.
+A campaign tunes many programs, and spawning (and tearing down) a fresh
+process pool per program would dominate the wall clock on short searches —
+exactly the cost the shared pool amortizes: one ``ProcessPoolExecutor``
+outlives all programs, and each task carries the *identity* of its evaluator
+plus a pickle blob that workers deserialize once and cache.
+
+Determinism: ``map`` goes through ``Executor.map``, which yields results in
+submission order regardless of completion order, so the evaluation engine's
+bit-for-bit reproducibility guarantee carries over unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Sequence, Tuple
+
+from repro.tuner.evaluation import (
+    CandidateEvaluator,
+    CandidateResult,
+    FlagKey,
+    SerialMapper,
+)
+
+#: Worker-process global: evaluator id -> deserialized evaluator.  Ids come
+#: from a monotonic parent-process counter, so they can never alias.  The
+#: cache is bounded: campaign jobs run sequentially, so evaluators of
+#: long-finished programs (each holding a source + baseline image) would
+#: otherwise pile up in every worker for the life of the campaign.
+_POOL_EVALUATORS: Dict[int, CandidateEvaluator] = {}
+_POOL_CACHE_LIMIT = 4
+
+#: Parent-process counter behind :meth:`SharedWorkerPool.mapper` ids.
+_NEXT_EVALUATOR_ID = 0
+
+
+def _pool_call(task) -> CandidateResult:
+    evaluator_id, blob, key = task
+    evaluator = _POOL_EVALUATORS.get(evaluator_id)
+    if evaluator is None:
+        evaluator = pickle.loads(blob)
+        while len(_POOL_EVALUATORS) >= _POOL_CACHE_LIMIT:
+            _POOL_EVALUATORS.pop(next(iter(_POOL_EVALUATORS)))
+        _POOL_EVALUATORS[evaluator_id] = evaluator
+    return evaluator(key)
+
+
+class PooledMapper:
+    """Mapper facade over a :class:`SharedWorkerPool` for one evaluator.
+
+    ``close`` is deliberately a no-op: the pool belongs to the campaign and
+    outlives the program, so the per-run ``engine.close()`` in
+    :meth:`BinTuner.run` must not tear it down.
+    """
+
+    def __init__(self, pool: "SharedWorkerPool", evaluator_id: int,
+                 evaluator: CandidateEvaluator) -> None:
+        self._pool = pool
+        self._evaluator_id = evaluator_id
+        # Pickled once per program; tasks ship the same bytes object, and
+        # workers deserialize it at most once each.
+        self._blob = pickle.dumps(evaluator)
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        if not keys:
+            return []
+        executor = self._pool._ensure_executor()
+        tasks = [(self._evaluator_id, self._blob, key) for key in keys]
+        return list(executor.map(_pool_call, tasks))
+
+    def close(self) -> None:
+        pass
+
+
+class SharedWorkerPool:
+    """One process pool (or the serial path) spanning a whole campaign."""
+
+    def __init__(self, executor: str = "serial", workers: int = 1) -> None:
+        if executor not in ("serial", "process"):
+            raise ValueError(f"unknown executor {executor!r} (use 'serial' or 'process')")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.executor = "process" if (executor == "process" or workers > 1) else "serial"
+        self.workers = workers if self.executor == "process" else 1
+        self._pool = None
+
+    def _ensure_executor(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def mapper(self, evaluator: CandidateEvaluator):
+        """A per-program mapper backed by this pool (serial: plain mapper)."""
+        if self.executor == "serial":
+            return SerialMapper(evaluator)
+        global _NEXT_EVALUATOR_ID
+        _NEXT_EVALUATOR_ID += 1
+        return PooledMapper(self, _NEXT_EVALUATOR_ID, evaluator)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SharedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

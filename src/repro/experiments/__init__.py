@@ -32,6 +32,7 @@ from repro.experiments.scores import (
     run_fig10_ncd_binhunt_correlation,
     run_table78_matched_ratios,
     tune_benchmark,
+    tune_suite,
 )
 from repro.experiments.potency import run_fig7_flag_potency
 from repro.experiments.tools import run_fig8_tool_precision
@@ -47,6 +48,7 @@ __all__ = [
     "run_fig10_ncd_binhunt_correlation",
     "run_table78_matched_ratios",
     "tune_benchmark",
+    "tune_suite",
     "run_fig7_flag_potency",
     "run_fig8_tool_precision",
     "run_table2_malware_detection",

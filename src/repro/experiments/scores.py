@@ -4,6 +4,13 @@ Covers Figure 5 (BinHunt difference scores of -Ox vs BinTuner), Table 1
 (search cost), Figure 6 (NCD variation over iterations), Tables 4/5 (cross
 comparisons), Figure 10 (NCD vs BinHunt correlation) and Tables 7/8 (matched
 code-representation ratios).
+
+Multi-benchmark drivers (Fig. 5, Table 1, Tables 7/8) run on the campaign
+layer via :func:`tune_suite` — one shared worker pool and one sharded
+database per suite — instead of hand-written per-benchmark loops.  Campaign
+warm starting stays off in the drivers to preserve the paper's independent
+per-program methodology.  Single-benchmark drivers keep
+:func:`tune_benchmark`.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.campaign import Campaign, CampaignConfig, ProgramJob, ProgramResult
 from repro.compilers import SimGCC, SimLLVM
 from repro.compilers.base import Compiler
 from repro.difftools import BinHunt, matched_ratios, ncd_images
@@ -57,6 +65,33 @@ def tune_benchmark(
     return tuner.run()
 
 
+def tune_suite(
+    family: str,
+    names: Sequence[str],
+    config: Optional[BinTunerConfig] = None,
+    workers: int = 1,
+    warm_start: bool = False,
+) -> Dict[str, ProgramResult]:
+    """Tune several benchmarks as one campaign (the suite-scale replacement
+    for per-benchmark ``tune_benchmark`` loops): one shared worker pool and
+    one sharded database.  Warm starting defaults *off* here — the paper
+    tunes every program independently, and Table 1's search costs would be
+    understated if benchmark N were seeded with benchmarks 1..N-1's bests —
+    so cross-program seeding is an explicit opt-in.  Returns one
+    :class:`ProgramResult` per benchmark name."""
+    campaign = Campaign(
+        [ProgramJob(family, name) for name in names],
+        CampaignConfig(
+            tuner=config or quick_config(),
+            executor="process" if workers > 1 else "serial",
+            workers=workers,
+            warm_start=warm_start,
+        ),
+    )
+    result = campaign.run()
+    return {program.job.program: program for program in result.programs}
+
+
 @dataclass
 class BenchmarkScores:
     """One bar group of Figure 5."""
@@ -88,6 +123,7 @@ def run_fig5_binhunt_scores(
     """Figure 5: BinHunt difference scores under -Ox and BinTuner settings."""
     names = list(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
     binhunt = BinHunt()
+    tuned_suite = tune_suite(family, names, config)
     results: List[BenchmarkScores] = []
     for name in names:
         compiler = make_compiler(family)
@@ -96,7 +132,7 @@ def run_fig5_binhunt_scores(
             level: compiler.compile_level(workload.source, level, name=name).image
             for level in ["O0"] + LEVELS[family]
         }
-        tuned = tune_benchmark(family, name, config)
+        tuned = tuned_suite[name]
         level_scores = {
             level: binhunt.difference(images["O0"], images[level]) for level in LEVELS[family]
         }
@@ -126,12 +162,9 @@ def run_table1_search_cost(
     names = list(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS
     rows: List[Dict[str, object]] = []
     for family in families:
-        iterations: List[int] = []
-        hours: List[float] = []
-        for name in names:
-            result = tune_benchmark(family, name, config)
-            iterations.append(result.iterations)
-            hours.append(result.elapsed_seconds / 3600.0)
+        tuned_suite = tune_suite(family, names, config)
+        iterations = [tuned_suite[name].iterations for name in names]
+        hours = [tuned_suite[name].elapsed_seconds / 3600.0 for name in names]
         rows.append(
             {
                 "compiler": family,
@@ -252,6 +285,7 @@ def run_table78_matched_ratios(
     """Tables 7/8: matched basic-block / CFG-edge / function ratios per setting."""
     names = list(benchmarks) if benchmarks is not None else QUICK_BENCHMARKS[:3]
     binhunt = BinHunt()
+    tuned_suite = tune_suite(family, names, config)
     rows: List[Dict[str, object]] = []
     for name in names:
         compiler = make_compiler(family)
@@ -262,7 +296,7 @@ def run_table78_matched_ratios(
             level: compiler.compile_level(workload.source, level, name=name).image
             for level in LEVELS[family]
         }
-        settings["BinTuner"] = tune_benchmark(family, name, config).best_image
+        settings["BinTuner"] = tuned_suite[name].best_image
         for setting, image in settings.items():
             ratios = matched_ratios(binhunt.compare(o0, image))
             row[f"{setting} vs O0"] = ratios.as_tuple_text()

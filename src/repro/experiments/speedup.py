@@ -1,5 +1,8 @@
 """Table 3: execution speedup of -O3 and BinTuner builds over -O0, plus the
-serial-vs-parallel evaluation-engine comparison that rides on the same bench."""
+serial-vs-parallel evaluation-engine comparison that rides on the same bench.
+
+The tuning half runs as one campaign per compiler family (shared pool,
+sharded database) rather than a per-benchmark loop."""
 
 from __future__ import annotations
 
@@ -8,7 +11,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.cost_model import CostModel
-from repro.experiments.scores import make_compiler, tune_benchmark
+from repro.experiments.scores import make_compiler, tune_benchmark, tune_suite
 from repro.tuner import BinTunerConfig
 from repro.workloads import benchmark
 
@@ -27,13 +30,14 @@ def run_table3_speedup(
     """
     rows: List[Dict[str, object]] = []
     for family in families:
+        tuned_suite = tune_suite(family, list(benchmarks), config)
         for name in benchmarks:
             compiler = make_compiler(family)
             workload = benchmark(name)
             model = CostModel(args=workload.arguments, inputs=workload.inputs)
             o0 = compiler.compile_level(workload.source, "O0", name=name).image
             o3 = compiler.compile_level(workload.source, "O3", name=name).image
-            tuned = tune_benchmark(family, name, config).best_image
+            tuned = tuned_suite[name].best_image
             o3_speedup = model.speedup(o0, o3) - 1.0
             tuned_speedup = model.speedup(o0, tuned) - 1.0
             rows.append(

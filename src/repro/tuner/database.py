@@ -10,10 +10,24 @@ persistence reproduces that role.
 from __future__ import annotations
 
 import json
+import os
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def write_text_atomic(path: Path, text: str) -> None:
+    """Write via a sibling temp file + ``os.replace``.
+
+    Checkpoints are written after every generation precisely so a kill can
+    land at any moment; a plain ``write_text`` interrupted mid-write leaves
+    truncated JSON that poisons every later resume.
+    """
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    temporary.write_text(text)
+    os.replace(temporary, path)
 
 
 @dataclass
@@ -102,18 +116,29 @@ class TuningDatabase:
         payload = {
             "program": self.program,
             "compiler": self.compiler,
+            "started_at": self.started_at,
             "records": [asdict(record) for record in self.records],
         }
         return json.dumps(payload, indent=2)
 
     def save(self, path: Path) -> None:
-        Path(path).write_text(self.to_json())
+        write_text_atomic(Path(path), self.to_json())
 
     @classmethod
     def load(cls, path: Path) -> "TuningDatabase":
+        """Rebuild a database from :meth:`save` output.
+
+        Unknown keys — in the top-level payload or inside records — are
+        ignored rather than raised on, so checkpoints written by a newer
+        schema still load (campaign resume depends on this tolerance).
+        """
         payload = json.loads(Path(path).read_text())
-        database = cls(program=payload["program"], compiler=payload["compiler"])
-        for raw in payload["records"]:
+        database = cls(program=payload.get("program", ""), compiler=payload.get("compiler", ""))
+        if "started_at" in payload:
+            database.started_at = payload["started_at"]
+        known = {f.name for f in fields(IterationRecord)}
+        for raw in payload.get("records", []):
+            raw = {key: value for key, value in raw.items() if key in known}
             raw["flags"] = tuple(raw["flags"])
             database.record(IterationRecord(**raw))
         return database

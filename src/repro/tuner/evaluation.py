@@ -293,10 +293,20 @@ class EvaluationEngine:
         database: Optional[TuningDatabase] = None,
         executor: str = "serial",
         workers: int = 1,
+        mapper=None,
     ) -> None:
         self.database = database if database is not None else TuningDatabase()
         self.stats = EvaluationStats()
-        self._mapper = make_mapper(evaluator, executor=executor, workers=workers)
+        self.evaluator = evaluator
+        #: Called as ``on_batch(engine)`` after a batch that produced new
+        #: records is recorded — the campaign layer's per-generation
+        #: checkpoint hook.  All-hit replay batches do not fire it.
+        self.on_batch: Optional[Callable[["EvaluationEngine"], None]] = None
+        # An injected mapper (e.g. a campaign's shared worker pool) wins over
+        # the (executor, workers) knobs; its lifetime belongs to the injector.
+        self._mapper = mapper if mapper is not None else make_mapper(
+            evaluator, executor=executor, workers=workers
+        )
 
     @property
     def workers(self) -> int:
@@ -339,6 +349,8 @@ class EvaluationEngine:
                 )
             )
             scores[key] = result.fitness
+        if misses and self.on_batch is not None:
+            self.on_batch(self)
         return [scores[key] for key in keys]
 
     def evaluate(self, vector: FlagVector) -> float:

@@ -127,6 +127,11 @@ class GeneticAlgorithm:
     registry: FlagRegistry
     constraints: ConstraintEngine
     parameters: GAParameters = field(default_factory=GAParameters)
+    #: Warm-start individuals injected into the initial population after the
+    #: -Ox presets (best configurations from other programs in a campaign).
+    #: They pass through constraint repair like every other individual; their
+    #: order is preserved so seeded runs stay deterministic.
+    seeds: Sequence[FlagVector] = ()
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.parameters.seed)
@@ -136,7 +141,15 @@ class GeneticAlgorithm:
     def _seed_population(self) -> List[FlagVector]:
         presets = [self.registry.preset(level) for level in ("O1", "O2", "O3", "Os")
                    if level in self.registry.presets]
-        population = [self.constraints.repair(preset) for preset in presets]
+        # Warm-start seeds carry cross-program information the GA cannot
+        # rediscover cheaply, so when presets + seeds overflow the population
+        # they win slots over trailing presets rather than being silently
+        # truncated away.
+        size = self.parameters.population_size
+        seeded = [self.constraints.repair(seed) for seed in self.seeds][:size]
+        population = [self.constraints.repair(preset)
+                      for preset in presets[: max(size - len(seeded), 0)]]
+        population.extend(seeded)
         names = self.registry.flag_names()
         while len(population) < self.parameters.population_size:
             density = self._rng.uniform(0.2, 0.8)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.emulator import run_program
 from repro.backend.binary import BinaryImage
@@ -31,7 +31,6 @@ from repro.tuner.evaluation import (
     EvaluationEngine,
     EvaluationStats,
     TunerCandidateEvaluator,
-    make_fitness,
 )
 from repro.tuner.search import GAParameters, GeneticAlgorithm, HillClimber, RandomSearch
 
@@ -100,6 +99,10 @@ class BinTunerConfig:
     #: implies the process executor.
     executor: str = "serial"
     workers: int = 1
+    #: Warm-start flag tuples injected into the GA's initial population —
+    #: best configurations of already-tuned programs in a campaign.  Names
+    #: unknown to the target compiler's registry are dropped silently.
+    warm_start: Tuple[Tuple[str, ...], ...] = ()
 
 
 @dataclass
@@ -129,15 +132,23 @@ class BinTuner:
         compiler: Compiler,
         spec: BuildSpec,
         config: Optional[BinTunerConfig] = None,
+        database: Optional[TuningDatabase] = None,
+        mapper_factory=None,
     ) -> None:
         self.compiler = compiler
         self.spec = spec
         self.config = config or BinTunerConfig()
         self.constraints = ConstraintEngine(compiler.registry)
-        self.database = TuningDatabase(program=spec.name, compiler=compiler.registry.compiler)
+        # A campaign injects its shard as ``database`` (so dedup extends to a
+        # checkpointed prior run) and its shared worker pool as
+        # ``mapper_factory`` (evaluator -> mapper; the pool owns its lifetime).
+        self.database = database if database is not None else TuningDatabase(
+            program=spec.name, compiler=compiler.registry.compiler
+        )
+        self._mapper_factory = mapper_factory
         self._baseline: Optional[BinaryImage] = None
         self._baseline_behaviour = None
-        self._fitness_callable: Optional[Callable[[BinaryImage], float]] = None
+        self._evaluator: Optional[TunerCandidateEvaluator] = None
         self._engine: Optional[EvaluationEngine] = None
 
     # -- baseline -------------------------------------------------------------------
@@ -161,23 +172,20 @@ class BinTuner:
         return result.observable_state()
 
     def _make_fitness(self) -> Callable[[BinaryImage], float]:
-        if self._fitness_callable is None:
-            self._fitness_callable = make_fitness(
-                self.config.fitness_kind, self.baseline_image(), self.config.compressor
-            )
-        return self._fitness_callable
+        # Routed through the candidate evaluator so every in-process scoring
+        # path (the serial engine, compare_levels) shares one CachedNCDFitness
+        # — the O0 baseline is compressed exactly once per tuner.
+        return self._build_evaluator().fitness_function()
 
     # -- evaluation --------------------------------------------------------------------
 
-    def evaluation_engine(self) -> EvaluationEngine:
-        """The batched evaluation engine (built lazily, shared by all runs)."""
-        if self._engine is None:
-            baseline = self.baseline_image()
-            evaluator = TunerCandidateEvaluator(
+    def _build_evaluator(self) -> TunerCandidateEvaluator:
+        if self._evaluator is None:
+            self._evaluator = TunerCandidateEvaluator(
                 compiler=self.compiler,
                 source=self.spec.source,
                 name=self.spec.name,
-                baseline=baseline,
+                baseline=self.baseline_image(),
                 baseline_behaviour=self._baseline_behaviour,
                 arguments=tuple(self.spec.arguments),
                 inputs=tuple(self.spec.inputs),
@@ -186,11 +194,19 @@ class BinTuner:
                 invalid_fitness=self.config.invalid_fitness,
                 max_emulation_steps=self.config.max_emulation_steps,
             )
+        return self._evaluator
+
+    def evaluation_engine(self) -> EvaluationEngine:
+        """The batched evaluation engine (built lazily, shared by all runs)."""
+        if self._engine is None:
+            evaluator = self._build_evaluator()
+            mapper = self._mapper_factory(evaluator) if self._mapper_factory else None
             self._engine = EvaluationEngine(
                 evaluator,
                 database=self.database,
                 executor=self.config.executor,
                 workers=self.config.workers,
+                mapper=mapper,
             )
         return self._engine
 
@@ -209,12 +225,25 @@ class BinTuner:
 
     # -- search -----------------------------------------------------------------------
 
+    def _warm_start_vectors(self) -> List[FlagVector]:
+        registry = self.compiler.registry
+        known = set(registry.flag_names())
+        return [
+            FlagVector(registry, frozenset(name for name in names if name in known))
+            for names in self.config.warm_start
+        ]
+
     def _build_search(self):
         if self.config.search_strategy == "hillclimb":
             return HillClimber(self.compiler.registry, self.constraints)
         if self.config.search_strategy == "random":
             return RandomSearch(self.compiler.registry, self.constraints)
-        return GeneticAlgorithm(self.compiler.registry, self.constraints, self.config.ga)
+        return GeneticAlgorithm(
+            self.compiler.registry,
+            self.constraints,
+            self.config.ga,
+            seeds=self._warm_start_vectors(),
+        )
 
     def run(self, observer=None) -> TuningResult:
         """Run the full tuning loop and return the best configuration found."""
