@@ -12,9 +12,12 @@ Figs. 5-8):
   store, with cross-program aggregations (per-flag potency, best-config
   overlap);
 * :mod:`repro.campaign.pool` — the :class:`SharedWorkerPool` every program
-  of a campaign evaluates on (one process pool per campaign, not per
-  program);
-* :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` entry point.
+  of a campaign evaluates on (one substrate per campaign, not per program:
+  a process pool, a thread pool, or a :mod:`repro.distrib` coordinator
+  serving workers on other machines);
+* :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` entry point,
+  including the ``report`` (checkpoint-only tables) and ``worker``
+  (distributed evaluation) subcommands.
 """
 
 from repro.campaign.campaign import (
@@ -27,7 +30,7 @@ from repro.campaign.campaign import (
     workload_spec_provider,
 )
 from repro.campaign.database import CampaignDatabase, ShardKey, SIGNATURE_FIELDS
-from repro.campaign.pool import PooledMapper, SharedWorkerPool
+from repro.campaign.pool import PooledMapper, PooledThreadMapper, SharedWorkerPool
 
 __all__ = [
     "Campaign",
@@ -35,6 +38,7 @@ __all__ = [
     "CampaignDatabase",
     "CampaignResult",
     "PooledMapper",
+    "PooledThreadMapper",
     "ProgramJob",
     "ProgramResult",
     "SIGNATURE_FIELDS",

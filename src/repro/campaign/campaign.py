@@ -8,6 +8,8 @@ drives exactly one program.  :class:`Campaign` is the layer between them:
   pair per job) and drives one :class:`BinTuner` per job;
 * all jobs share a single :class:`~repro.campaign.pool.SharedWorkerPool`, so
   a multi-worker campaign pays process spawn once, not once per program;
+  with ``dispatch="distributed"`` that pool is a network coordinator
+  (:mod:`repro.distrib`) and the workers may live on other machines;
 * every job's records land in its shard of one
   :class:`~repro.campaign.database.CampaignDatabase` — dedup stays
   per-program, aggregation is campaign-wide;
@@ -89,6 +91,22 @@ class CampaignConfig:
     #: override the per-tuner ``executor``/``workers`` fields).
     executor: str = "serial"
     workers: int = 1
+    #: Execution substrate of the shared pool ("serial" | "process" |
+    #: "thread" | "distributed"); overrides ``executor`` when set.
+    dispatch: Optional[str] = None
+    #: ``HOST:PORT`` the distributed coordinator binds (default: loopback on
+    #: an ephemeral port; read it off ``pool.address_string()``).
+    serve: Optional[str] = None
+    #: Shared secret for the worker handshake (required when serving beyond
+    #: loopback: the transport is pickle, and unpickling bytes from an
+    #: unauthenticated peer is code execution).
+    authkey: Optional[str] = None
+    #: With distributed dispatch, block until this many remote workers have
+    #: registered before tuning starts (0: start immediately; candidates are
+    #: evaluated in-process until workers join).
+    min_workers: int = 0
+    #: How long :attr:`min_workers` may take before the campaign errors out.
+    worker_wait_timeout: float = 120.0
     #: Seed later programs' GA populations with earlier programs' best flags.
     warm_start: bool = True
     #: At most this many prior bests are injected per program.
@@ -316,7 +334,30 @@ class Campaign:
             tuning=result,
         )
 
-    def run(self, limit: Optional[int] = None, resume: bool = True) -> CampaignResult:
+    def _build_pool(self) -> SharedWorkerPool:
+        pool = SharedWorkerPool(
+            self.config.executor,
+            self.config.workers,
+            dispatch=self.config.dispatch,
+            serve=self.config.serve,
+            authkey=self.config.authkey,
+        )
+        if pool.dispatch == "distributed" and self.config.min_workers > 0:
+            try:
+                pool.wait_for_workers(
+                    self.config.min_workers, timeout=self.config.worker_wait_timeout
+                )
+            except Exception:
+                pool.close()
+                raise
+        return pool
+
+    def run(
+        self,
+        limit: Optional[int] = None,
+        resume: bool = True,
+        pool: Optional[SharedWorkerPool] = None,
+    ) -> CampaignResult:
         """Run (or resume) the campaign.
 
         ``limit`` caps how many *not-yet-completed* jobs run before returning
@@ -325,6 +366,9 @@ class Campaign:
         ``resume=False`` an existing checkpoint is *deleted* before anything
         runs: keeping a stale manifest around while fresh shards overwrite
         the database would poison a later resume with contradictory state.
+        An injected ``pool`` (e.g. a distributed pool whose coordinator
+        address the caller needed before any worker could connect) is used
+        as-is and *not* closed — its lifetime belongs to the caller.
         """
         started = time.perf_counter()
         if resume:
@@ -342,7 +386,9 @@ class Campaign:
         programs: List[ProgramResult] = []
         ran = 0
         interrupted = False
-        pool = SharedWorkerPool(self.config.executor, self.config.workers)
+        own_pool = pool is None
+        if own_pool:
+            pool = self._build_pool()
         try:
             for job in self.jobs:
                 restored = completed.get(job.key())
@@ -359,7 +405,8 @@ class Campaign:
                     self.database.save_shard(job.family, job.program, database_dir)
                     self._write_manifest(programs)
         finally:
-            pool.close()
+            if own_pool:
+                pool.close()
         return CampaignResult(
             database=self.database,
             programs=programs,

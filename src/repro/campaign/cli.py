@@ -1,4 +1,4 @@
-"""``python -m repro.campaign``: run a tuning campaign from the command line.
+"""``python -m repro.campaign``: run, scale out, and report tuning campaigns.
 
 Examples::
 
@@ -12,25 +12,45 @@ Examples::
     # Same campaign on a shared 4-worker process pool
     python -m repro.campaign --benchmarks 462.libquantum,429.mcf \\
         --families llvm --workers 4
+
+    # Distributed: serve candidates to workers on this or other machines ...
+    python -m repro.campaign --suites coreutils --dispatch distributed \\
+        --serve 0.0.0.0:7099 --min-workers 2 --checkpoint-dir /tmp/campaign
+
+    # ... each worker being (anywhere that can reach the coordinator):
+    python -m repro.campaign worker --connect COORDINATOR_HOST:7099 --slots 2
+
+    # Regenerate the report tables from checkpoints alone (no re-tuning)
+    python -m repro.campaign report /tmp/campaign
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import socket
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.campaign.campaign import Campaign, CampaignConfig, ProgramJob
+from repro.campaign.campaign import Campaign, CampaignConfig, ProgramJob, DATABASE_DIR
+from repro.campaign.database import CampaignDatabase
 from repro.tuner import BinTunerConfig, GAParameters
 from repro.workloads import SUITES
+
+#: Subcommands in front of the default run mode (``argv[0]`` dispatch keeps
+#: every pre-existing flag invocation working unchanged).
+SUBCOMMANDS = ("report", "worker")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
-        description="Tune a benchmark suite x compiler matrix with BinTuner.",
+        description="Tune a benchmark suite x compiler matrix with BinTuner. "
+                    "Subcommands: 'report CHECKPOINT_DIR' regenerates the "
+                    "summary/potency/overlap tables from checkpoints; "
+                    "'worker --connect HOST:PORT' serves a distributed campaign.",
     )
     parser.add_argument("--suites", default="",
                         help=f"comma-separated suites ({', '.join(SUITES)}); "
@@ -48,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="shared worker-pool size; >1 implies a process pool")
     parser.add_argument("--executor", choices=("serial", "process"), default="serial")
+    parser.add_argument("--dispatch",
+                        choices=("serial", "process", "thread", "distributed"),
+                        default=None,
+                        help="execution substrate of the shared pool "
+                             "(overrides --executor)")
+    parser.add_argument("--serve", default=None, metavar="HOST:PORT",
+                        help="with --dispatch distributed: address the "
+                             "coordinator binds (default: 127.0.0.1:0)")
+    parser.add_argument("--min-workers", type=int, default=0,
+                        help="with --dispatch distributed: wait for this many "
+                             "registered workers before tuning starts")
+    parser.add_argument("--authkey", default=os.environ.get("REPRO_DISTRIB_AUTHKEY"),
+                        help="with --dispatch distributed: shared secret for the "
+                             "worker handshake (default: $REPRO_DISTRIB_AUTHKEY; "
+                             "required when serving beyond loopback)")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="enable per-generation checkpointing under this directory")
     parser.add_argument("--fresh", action="store_true",
@@ -70,6 +105,10 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
         ),
         executor=args.executor,
         workers=args.workers,
+        dispatch=args.dispatch,
+        serve=args.serve,
+        min_workers=args.min_workers,
+        authkey=args.authkey,
         warm_start=not args.no_warm_start,
         checkpoint_dir=args.checkpoint_dir,
     )
@@ -83,17 +122,47 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
     return Campaign.from_suites(suites, families, config)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def run_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     campaign = _build_campaign(args)
     jobs = campaign.jobs
     if not jobs:
         print("no jobs to run (empty suite/family selection)", file=sys.stderr)
         return 2
+    dispatch = args.dispatch or args.executor
     print(f"campaign: {len(jobs)} jobs "
-          f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
+          f"({dispatch} dispatch, {args.workers} worker{'s' if args.workers != 1 else ''}, "
           f"warm-start {'off' if args.no_warm_start else 'on'})")
-    result = campaign.run(limit=args.limit, resume=not args.fresh)
+    pool = None
+    try:
+        if dispatch == "distributed":
+            # Build the pool up front so the coordinator address is printed
+            # before the (possibly blocking) wait for workers.
+            from repro.campaign.pool import SharedWorkerPool
+
+            pool = SharedWorkerPool(args.executor, args.workers,
+                                    dispatch="distributed", serve=args.serve,
+                                    authkey=args.authkey)
+            bound = pool.address_string()
+            host, _sep, port = bound.rpartition(":")
+            if host in ("0.0.0.0", "::", ""):
+                # The wildcard bind is not a reachable address; point the
+                # copy-paste line at something remote machines can use.
+                connect = f"{socket.gethostname()}:{port}"
+                note = f" (listening on all interfaces; {bound})"
+            else:
+                connect, note = bound, ""
+            authhint = " --authkey ..." if args.authkey else ""
+            print(f"coordinator listening on {connect}{note} — start workers with\n"
+                  f"  python -m repro.distrib.worker --connect {connect}{authhint}")
+            if args.min_workers > 0:
+                print(f"waiting for {args.min_workers} worker(s)...")
+                pool.wait_for_workers(args.min_workers,
+                                      timeout=campaign.config.worker_wait_timeout)
+        result = campaign.run(limit=args.limit, resume=not args.fresh, pool=pool)
+    finally:
+        if pool is not None:
+            pool.close()
 
     programs = {program.job.key(): program for program in result.programs}
     for row in result.summary_rows():
@@ -130,3 +199,115 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         }
         args.json_out.write_text(json.dumps(payload, indent=2))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# report: regenerate the experiment tables from checkpoints alone
+# ---------------------------------------------------------------------------
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign report",
+        description="Regenerate summary, per-flag potency and best-config "
+                    "overlap tables from CampaignDatabase checkpoints, "
+                    "without re-running any tuning.",
+    )
+    parser.add_argument("checkpoint_dir", type=Path,
+                        help="a campaign --checkpoint-dir (or its database/ "
+                             "subdirectory, or any CampaignDatabase.save dir)")
+    parser.add_argument("--family", default=None,
+                        help="restrict potency/overlap tables to one compiler family")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many flags the potency table lists (default: 10)")
+    parser.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write all tables to this JSON file")
+    return parser
+
+
+def _locate_database(checkpoint_dir: Path) -> Optional[Path]:
+    """Accept the checkpoint dir, its ``database/`` child, or a bare save dir."""
+    for candidate in (checkpoint_dir / DATABASE_DIR, checkpoint_dir):
+        if (candidate / "index.json").exists():
+            return candidate
+    return None
+
+
+def report_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_report_parser().parse_args(argv)
+    database_dir = _locate_database(args.checkpoint_dir)
+    if database_dir is None:
+        print(f"no campaign database under {args.checkpoint_dir} "
+              f"(expected {args.checkpoint_dir / DATABASE_DIR / 'index.json'})",
+              file=sys.stderr)
+        return 2
+    database = CampaignDatabase.load(database_dir)
+    families = sorted({family for family, _program in database.shard_keys()})
+    if args.family is not None:
+        if args.family not in families:
+            print(f"family {args.family!r} not in checkpoint (has: {', '.join(families)})",
+                  file=sys.stderr)
+            return 2
+        families = [args.family]
+
+    print(f"campaign {database.name!r}: {len(database)} shard(s), "
+          f"{database.total_records()} records")
+    print("\nper-program summary:")
+    for row in database.summary_rows():
+        print(f"  {row['compiler']:5s} {row['benchmark']:18s} "
+              f"iterations {row['iterations']:4d}  "
+              f"best fitness {row['best_fitness']}  "
+              f"flags {row['best_flag_count']:2d}  hours {row['hours']}")
+
+    potency: Dict[str, Dict[str, float]] = {}
+    for family in families:
+        frequency = database.flag_frequency(family)
+        potency[family] = frequency
+        if not frequency:
+            continue
+        top = sorted(frequency.items(), key=lambda item: (-item[1], item[0]))[: args.top]
+        print(f"\nper-flag potency ({family}): share of best configurations enabling it")
+        for flag, share in top:
+            print(f"  {flag:28s} {share:.0%}")
+
+    overlap_out: Dict[str, Dict[str, float]] = {}
+    for family in families:
+        overlap = database.best_overlap(family)
+        if not overlap:
+            continue
+        print(f"\nbest-config overlap ({family}): pairwise Jaccard of best flag sets")
+        pairs: List[str] = []
+        for left in sorted(overlap):
+            for right in sorted(overlap[left]):
+                if left < right:  # each unordered pair once
+                    value = overlap[left][right]
+                    overlap_out[f"{left[0]}/{left[1]}|{right[0]}/{right[1]}"] = value
+                    pairs.append(f"  {left[1]:18s} ~ {right[1]:18s} {value:.2f}")
+        print("\n".join(pairs) if pairs else "  (single program: no pairs)")
+
+    print(f"\ndatabase fingerprint: {database.fingerprint()}")
+
+    if args.json_out is not None:
+        payload = {
+            "name": database.name,
+            "summary": database.summary_rows(),
+            "flag_frequency": potency,
+            "best_overlap": overlap_out,
+            "fingerprint": database.fingerprint(),
+        }
+        args.json_out.write_text(json.dumps(payload, indent=2))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from repro.distrib.worker import main as worker_main
+
+        return worker_main(argv[1:])
+    return run_main(argv)

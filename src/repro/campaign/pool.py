@@ -3,38 +3,51 @@
 PR 1's :class:`~repro.tuner.evaluation.ProcessPoolMapper` installs one
 evaluator per pool at initializer time, which ties a pool to a single program.
 A campaign tunes many programs, and spawning (and tearing down) a fresh
-process pool per program would dominate the wall clock on short searches —
-exactly the cost the shared pool amortizes: one ``ProcessPoolExecutor``
-outlives all programs, and each task carries the *identity* of its evaluator
-plus a pickle blob that workers deserialize once and cache.
+execution substrate per program would dominate the wall clock on short
+searches — exactly the cost the shared pool amortizes.  One substrate
+outlives all programs; ``dispatch`` picks which:
 
-Determinism: ``map`` goes through ``Executor.map``, which yields results in
-submission order regardless of completion order, so the evaluation engine's
-bit-for-bit reproducibility guarantee carries over unchanged.
+* ``"serial"`` — the deterministic in-process path (plain
+  :class:`~repro.tuner.evaluation.SerialMapper` per program);
+* ``"process"`` — one ``ProcessPoolExecutor`` for the whole campaign; each
+  task carries the *identity* of its evaluator plus a pickle blob that
+  workers deserialize once and cache (bounded, see
+  :data:`~repro.tuner.evaluation.EVALUATOR_CACHE_LIMIT`);
+* ``"thread"`` — one ``ThreadPoolExecutor``; threads share the process, so
+  evaluators are called directly (free-threaded-build lane);
+* ``"distributed"`` — one :class:`~repro.distrib.coordinator.Coordinator`
+  listening on ``serve`` (``HOST:PORT``); workers started with
+  ``python -m repro.distrib.worker --connect HOST:PORT`` — on this machine
+  or any other — evaluate the campaign's candidates.
+
+Determinism: every mapper returns results in submission order regardless of
+completion order (``Executor.map`` for the local pools, index-slotted
+replies for the distributed one), so the evaluation engine's bit-for-bit
+reproducibility guarantee carries over unchanged to every mode.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.tuner.evaluation import (
+    EVALUATOR_CACHE_LIMIT,
     CandidateEvaluator,
     CandidateResult,
     FlagKey,
     SerialMapper,
+    next_evaluator_id,
 )
 
 #: Worker-process global: evaluator id -> deserialized evaluator.  Ids come
-#: from a monotonic parent-process counter, so they can never alias.  The
-#: cache is bounded: campaign jobs run sequentially, so evaluators of
-#: long-finished programs (each holding a source + baseline image) would
-#: otherwise pile up in every worker for the life of the campaign.
+#: from the process-wide monotonic counter
+#: (:func:`~repro.tuner.evaluation.next_evaluator_id`), so they can never
+#: alias.  The cache is bounded: campaign jobs run sequentially, so
+#: evaluators of long-finished programs (each holding a source + baseline
+#: image) would otherwise pile up in every worker for the campaign's life.
 _POOL_EVALUATORS: Dict[int, CandidateEvaluator] = {}
-_POOL_CACHE_LIMIT = 4
-
-#: Parent-process counter behind :meth:`SharedWorkerPool.mapper` ids.
-_NEXT_EVALUATOR_ID = 0
+_POOL_CACHE_LIMIT = EVALUATOR_CACHE_LIMIT
 
 
 def _pool_call(task) -> CandidateResult:
@@ -59,7 +72,7 @@ class PooledMapper:
     def __init__(self, pool: "SharedWorkerPool", evaluator_id: int,
                  evaluator: CandidateEvaluator) -> None:
         self._pool = pool
-        self._evaluator_id = evaluator_id
+        self.evaluator_id = evaluator_id
         # Pickled once per program; tasks ship the same bytes object, and
         # workers deserialize it at most once each.
         self._blob = pickle.dumps(evaluator)
@@ -72,44 +85,129 @@ class PooledMapper:
         if not keys:
             return []
         executor = self._pool._ensure_executor()
-        tasks = [(self._evaluator_id, self._blob, key) for key in keys]
+        tasks = [(self.evaluator_id, self._blob, key) for key in keys]
         return list(executor.map(_pool_call, tasks))
 
     def close(self) -> None:
         pass
 
 
-class SharedWorkerPool:
-    """One process pool (or the serial path) spanning a whole campaign."""
+class PooledThreadMapper:
+    """Thread-lane sibling of :class:`PooledMapper`: the threads share the
+    process, so the evaluator is called directly — no id, no pickle blob."""
 
-    def __init__(self, executor: str = "serial", workers: int = 1) -> None:
-        if executor not in ("serial", "process"):
-            raise ValueError(f"unknown executor {executor!r} (use 'serial' or 'process')")
+    evaluator_id: Optional[int] = None
+
+    def __init__(self, pool: "SharedWorkerPool", evaluator: CandidateEvaluator) -> None:
+        self._pool = pool
+        self._evaluator = evaluator
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        if not keys:
+            return []
+        return list(self._pool._ensure_executor().map(self._evaluator, keys))
+
+    def close(self) -> None:
+        pass
+
+
+class SharedWorkerPool:
+    """One execution substrate (or the serial path) spanning a whole campaign."""
+
+    DISPATCH_MODES = ("serial", "process", "thread", "distributed")
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        workers: int = 1,
+        dispatch: Optional[str] = None,
+        serve: Optional[str] = None,
+        coordinator=None,
+        authkey=None,
+    ) -> None:
+        mode = dispatch if dispatch is not None else executor
+        if mode not in self.DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch {mode!r} (use one of {', '.join(self.DISPATCH_MODES)})"
+            )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.executor = "process" if (executor == "process" or workers > 1) else "serial"
-        self.workers = workers if self.executor == "process" else 1
+        if mode == "serial" and workers > 1:
+            mode = "process"
+        self.dispatch = mode
+        #: Backward-compatible alias of :attr:`dispatch` (pre-distributed
+        #: callers read ``pool.executor``).
+        self.executor = mode
+        self.workers = 1 if mode == "serial" else workers
         self._pool = None
+        self._coordinator = coordinator
+        self._own_coordinator = False
+        if mode == "distributed" and self._coordinator is None:
+            from repro.distrib.coordinator import Coordinator
+            from repro.distrib.protocol import parse_address
+
+            host, port = parse_address(serve) if serve else ("127.0.0.1", 0)
+            self._coordinator = Coordinator(host=host, port=port, authkey=authkey)
+            self._own_coordinator = True
+
+    # -- distributed front ------------------------------------------------------------
+
+    @property
+    def coordinator(self):
+        """The distributed coordinator (``None`` for local dispatch modes)."""
+        return self._coordinator
+
+    def address_string(self) -> str:
+        if self._coordinator is None:
+            raise ValueError(f"pool dispatch {self.dispatch!r} has no network address")
+        return self._coordinator.address_string()
+
+    def wait_for_workers(self, count: int, timeout: Optional[float] = None) -> int:
+        """Block until ``count`` remote workers registered (distributed only)."""
+        if self._coordinator is None:
+            raise ValueError(f"pool dispatch {self.dispatch!r} has no remote workers")
+        return self._coordinator.wait_for_workers(count, timeout)
+
+    # -- mapper construction ----------------------------------------------------------
 
     def _ensure_executor(self):
         if self._pool is None:
-            from concurrent.futures import ProcessPoolExecutor
+            if self.dispatch == "thread":
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="campaign-pool"
+                )
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
     def mapper(self, evaluator: CandidateEvaluator):
         """A per-program mapper backed by this pool (serial: plain mapper)."""
-        if self.executor == "serial":
+        if self.dispatch == "serial":
             return SerialMapper(evaluator)
-        global _NEXT_EVALUATOR_ID
-        _NEXT_EVALUATOR_ID += 1
-        return PooledMapper(self, _NEXT_EVALUATOR_ID, evaluator)
+        if self.dispatch == "thread":
+            return PooledThreadMapper(self, evaluator)
+        if self.dispatch == "distributed":
+            from repro.distrib.mapper import DistributedMapper
+
+            # The pool owns the coordinator; the mapper's close is a no-op.
+            return DistributedMapper(self._coordinator, evaluator)
+        return PooledMapper(self, next_evaluator_id(), evaluator)
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._own_coordinator and self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
 
     def __enter__(self) -> "SharedWorkerPool":
         return self

@@ -14,6 +14,7 @@ from __future__ import annotations
 import bz2
 import hashlib
 import lzma
+import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -109,6 +110,12 @@ class CachedNCDFitness:
         self._baseline_text = self.baseline.text
         self._baseline_size = len(self._compress(self._baseline_text))
         self._cache: "OrderedDict[str, float]" = OrderedDict()
+        # Thread mappers share one fitness across workers; the LRU's
+        # get/move_to_end/popitem sequence is not atomic without this (a
+        # concurrent eviction between get and move_to_end raises KeyError,
+        # routinely so on free-threaded builds).  Compression itself runs
+        # outside the lock.
+        self._cache_lock = threading.Lock()
 
     # The resolved compressor is a module-level lambda and the cache is
     # per-process state; rebuild both after unpickling (e.g. in pool workers).
@@ -128,16 +135,18 @@ class CachedNCDFitness:
     def __call__(self, candidate: BinaryImage) -> float:
         text = candidate.text
         key = hashlib.sha256(text).hexdigest()
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
         value = self._score(text)
-        self._cache[key] = value
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = value
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
         return value
 
     def _score(self, text: bytes) -> float:

@@ -1,0 +1,290 @@
+"""The coordinator: the campaign-side endpoint workers register with.
+
+The coordinator owns the listening socket and the worker registry; it does
+*not* own any scheduling policy.  :class:`~repro.distrib.mapper.
+DistributedMapper` decides which keys go to which worker and what happens
+when one dies — the coordinator only offers the two primitives that policy
+needs: a snapshot of live workers and a synchronous per-worker batch RPC
+(:meth:`Coordinator.run_batch`).
+
+Evaluator blobs are pickled once per program (by the mapper) and shipped to
+each worker at most once: :meth:`run_batch` tracks which evaluator ids a
+worker holds and omits the blob afterwards.  The worker's cache is bounded,
+so that book-keeping can go stale — the :class:`~repro.distrib.protocol.
+EvaluatorMissing` reply self-heals it by re-sending the blob.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.distrib.errors import (
+    ConnectionClosed,
+    DistribError,
+    ProtocolError,
+    WorkerLost,
+)
+from repro.distrib.protocol import (
+    BatchFailure,
+    BatchResult,
+    EvalBatch,
+    EvaluatorMissing,
+    Hello,
+    Shutdown,
+    Welcome,
+    authenticate,
+    format_address,
+    normalize_authkey,
+    recv_message,
+    send_message,
+)
+
+
+def _is_loopback(host: str) -> bool:
+    return host == "localhost" or host.startswith("127.") or host == "::1"
+
+
+class WorkerHandle:
+    """Coordinator-side state of one registered worker connection."""
+
+    def __init__(self, worker_id: int, sock: socket.socket, slots: int, peer: str) -> None:
+        self.worker_id = worker_id
+        self.sock = sock
+        self.slots = slots
+        self.peer = peer
+        #: Evaluator ids this worker is believed to hold (see module docs).
+        self.known_evaluators: Set[int] = set()
+        #: One in-flight conversation per worker: the protocol is strictly
+        #: request/response, so concurrent mapper threads must serialize.
+        self.lock = threading.Lock()
+        self.batches_completed = 0
+
+    def __repr__(self) -> str:
+        return (f"WorkerHandle(id={self.worker_id}, peer={self.peer!r}, "
+                f"slots={self.slots}, batches={self.batches_completed})")
+
+
+class Coordinator:
+    """Listens on ``host:port`` and registers workers as they connect.
+
+    A daemon accept-thread performs the :class:`Hello`/:class:`Welcome`
+    handshake and publishes each worker to the registry; ``wait_for_workers``
+    lets a campaign block until enough capacity has joined.  All sockets are
+    torn down by :meth:`close` (workers receive :class:`Shutdown` first, so a
+    clean campaign end does not read as a crash on the worker side).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        task_timeout: float = 120.0,
+        handshake_timeout: float = 5.0,
+        authkey: Union[str, bytes, None] = None,
+    ) -> None:
+        #: Per-*task* reply budget: a batch of N tasks may take N times this
+        #: before its worker is declared lost (a fixed per-batch timeout
+        #: would discard healthy-but-busy workers on large generations).
+        self.task_timeout = task_timeout
+        self.handshake_timeout = handshake_timeout
+        #: Shared secret for the mutual HMAC handshake.  ``None`` skips
+        #: authentication, which is why the check below *refuses* a keyless
+        #: bind beyond loopback rather than documenting a warning: frames
+        #: are pickled, and unpickling bytes from an unauthenticated network
+        #: peer is arbitrary code execution.
+        self.authkey = normalize_authkey(authkey)
+        if self.authkey is None and not _is_loopback(host):
+            raise ValueError(
+                f"refusing to bind a coordinator without an authkey on "
+                f"{host!r}: any peer that reaches this port could execute "
+                f"code via a crafted pickle frame.  Pass authkey= (CLI: "
+                f"--authkey / $REPRO_DISTRIB_AUTHKEY) or bind 127.0.0.1."
+            )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._workers: Dict[int, WorkerHandle] = {}
+        self._registry_lock = threading.Lock()
+        self._joined = threading.Condition(self._registry_lock)
+        self._worker_ids = itertools.count(1)
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"coordinator-accept:{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- registry ---------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def address_string(self) -> str:
+        return format_address(self.host, self.port)
+
+    def workers(self) -> List[WorkerHandle]:
+        """Snapshot of live workers, ordered by registration (worker id)."""
+        with self._registry_lock:
+            return [self._workers[key] for key in sorted(self._workers)]
+
+    def worker_count(self) -> int:
+        with self._registry_lock:
+            return len(self._workers)
+
+    def total_slots(self) -> int:
+        with self._registry_lock:
+            return sum(handle.slots for handle in self._workers.values())
+
+    def wait_for_workers(self, count: int, timeout: Optional[float] = None) -> int:
+        """Block until at least ``count`` workers registered; returns the
+        live count, raising :class:`DistribError` on timeout."""
+        with self._joined:
+            if not self._joined.wait_for(lambda: len(self._workers) >= count, timeout):
+                raise DistribError(
+                    f"only {len(self._workers)} of {count} workers registered with "
+                    f"{self.address_string()} within {timeout}s"
+                )
+            return len(self._workers)
+
+    def discard(self, handle: WorkerHandle) -> None:
+        """Drop a dead worker: close its socket, remove it from the registry."""
+        with self._registry_lock:
+            self._workers.pop(handle.worker_id, None)
+        try:
+            handle.sock.close()
+        except OSError:
+            pass
+
+    # -- accept loop ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed by close()
+            try:
+                sock.settimeout(self.handshake_timeout)
+                if self.authkey is not None:
+                    # Before any pickle byte is parsed: unauthenticated
+                    # peers never reach recv_message.
+                    authenticate(sock, self.authkey, server=True)
+                hello = recv_message(sock)
+                if (not isinstance(hello, Hello)
+                        or not isinstance(hello.slots, int)
+                        or isinstance(hello.slots, bool)
+                        or hello.slots < 1):
+                    raise ProtocolError(f"bad handshake from {peer}: {hello!r}")
+                worker_id = next(self._worker_ids)
+                send_message(sock, Welcome(worker_id))
+                sock.settimeout(self.task_timeout)
+            except Exception:
+                # One bad peer (version skew, scanner, crafted payload) must
+                # never take the accept thread — and with it all future
+                # registration — down.
+                sock.close()
+                continue
+            handle = WorkerHandle(worker_id, sock, hello.slots, format_address(*peer[:2]))
+            with self._joined:
+                if self._closed:
+                    sock.close()
+                    return
+                self._workers[worker_id] = handle
+                self._joined.notify_all()
+
+    # -- the batch RPC ----------------------------------------------------------------
+
+    def run_batch(self, handle, evaluator_id: int, blob: bytes, tasks) -> List[Tuple[int, object]]:
+        """Send one :class:`EvalBatch` to ``handle`` and await its reply.
+
+        Raises :class:`WorkerLost` on *transport* failure — EOF or timeout
+        (the reply budget scales with the batch: ``task_timeout`` per task)
+        — and the caller discards the worker and re-dispatches.  Failures
+        that would deterministically repeat on another worker propagate
+        instead: a :class:`BatchFailure` re-raises the remote evaluator's
+        exception, and a malformed or mismatched reply raises
+        :class:`ProtocolError` (a version-skewed worker must not silently
+        wipe the whole fleet one re-dispatch at a time).
+        """
+        tasks = tuple(tasks)
+        expected = {index for index, _key in tasks}
+        with handle.lock:
+            try:
+                handle.sock.settimeout(
+                    self.handshake_timeout + self.task_timeout * max(1, len(tasks))
+                )
+                include_blob = evaluator_id not in handle.known_evaluators
+                send_message(
+                    handle.sock,
+                    EvalBatch(evaluator_id, tasks, blob if include_blob else None),
+                )
+                while True:
+                    reply = recv_message(handle.sock)
+                    if isinstance(reply, EvaluatorMissing) and reply.evaluator_id == evaluator_id:
+                        # The worker's bounded cache evicted this evaluator
+                        # since we last shipped it; re-send with the blob.
+                        handle.known_evaluators.discard(evaluator_id)
+                        send_message(handle.sock, EvalBatch(evaluator_id, tasks, blob))
+                        continue
+                    break
+            except (ConnectionClosed, OSError, TimeoutError) as exc:
+                raise WorkerLost(
+                    f"worker {handle.worker_id} ({handle.peer}) lost with "
+                    f"{len(tasks)} task(s) in flight: {exc}",
+                    worker_id=handle.worker_id,
+                    pending=len(tasks),
+                ) from exc
+        if isinstance(reply, BatchFailure):
+            if reply.exception is not None:
+                raise reply.exception
+            from repro.distrib.errors import RemoteEvaluationError
+
+            raise RemoteEvaluationError(
+                f"worker {handle.worker_id} evaluator {evaluator_id} raised: {reply.message}"
+            )
+        if not isinstance(reply, BatchResult) or {i for i, _ in reply.results} != expected:
+            raise ProtocolError(
+                f"worker {handle.worker_id} ({handle.peer}) returned a mismatched "
+                f"batch reply ({type(reply).__name__}); the worker is likely "
+                f"running a different repro version"
+            )
+        handle.known_evaluators.add(evaluator_id)
+        handle.batches_completed += 1
+        return list(reply.results)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down: tell every worker to exit, then close all sockets."""
+        with self._joined:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for handle in workers:
+            with handle.lock:
+                try:
+                    send_message(handle.sock, Shutdown())
+                except DistribError:
+                    pass
+                try:
+                    handle.sock.close()
+                except OSError:
+                    pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,45 @@
+"""Exceptions of the distributed evaluation service.
+
+The hierarchy separates the failures the mapper *recovers from* (a worker
+vanishing mid-batch triggers bounded re-dispatch) from the failures it
+*propagates* (a malformed frame is a bug, a remote evaluator exception is the
+same programming error it would be in-process).
+"""
+
+from __future__ import annotations
+
+
+class DistribError(RuntimeError):
+    """Base class for every distributed-evaluation failure."""
+
+
+class ProtocolError(DistribError):
+    """A malformed frame or an unexpected message type on the wire."""
+
+
+class AuthenticationError(DistribError):
+    """The peer failed (or skipped) the HMAC challenge handshake."""
+
+
+class ConnectionClosed(DistribError, EOFError):
+    """The peer hung up mid-conversation (also an :class:`EOFError`, so
+    callers written against raw-socket semantics keep working)."""
+
+
+class WorkerLost(DistribError):
+    """A worker died or timed out while a batch was in flight.
+
+    Internal to the coordinator/mapper pair: the mapper responds by
+    discarding the worker and re-dispatching the lost keys, so this never
+    escapes ``DistributedMapper.map`` unless re-dispatch itself is exhausted.
+    """
+
+    def __init__(self, message: str, worker_id: int = -1, pending: int = 0) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.pending = pending
+
+
+class RemoteEvaluationError(DistribError):
+    """A worker's evaluator raised, and the original exception did not
+    survive the pickle round-trip; the remote traceback text is preserved."""

@@ -1,0 +1,152 @@
+"""The distributed mapper: ``map(keys) -> results`` over remote workers.
+
+:class:`DistributedMapper` implements the exact contract the
+:class:`~repro.tuner.evaluation.EvaluationEngine` already depends on — one
+result per key, in *submission* order — so the engine's bit-for-bit
+reproducibility carries over to any number of workers on any number of
+machines.  The mechanics:
+
+* keys are numbered at submission; workers return ``(index, result)`` pairs
+  and the mapper slots them back by index, so completion order (and
+  therefore worker speed, count, or placement) never reorders anything;
+* each dispatch round snapshots the live workers and deals the pending
+  tasks over them, weighted by advertised slots;
+* a worker that dies or times out mid-batch is discarded and its tasks
+  return to the pending set — *bounded* re-dispatch (``max_dispatch_rounds``)
+  so a poisonous batch that kills every worker it touches cannot loop
+  forever;
+* when no workers remain (or the re-dispatch budget is spent) the mapper
+  falls back to evaluating the leftovers in-process with the same evaluator
+  object it would have shipped — slower, never wrong, and deterministic
+  because ordering is fixed by submission index, not by who evaluated what.
+
+Remote evaluator exceptions (a worker's :class:`~repro.distrib.protocol.
+BatchFailure`) propagate to the caller like every other mapper's programming
+errors; they are deliberately *not* re-dispatched.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.distrib.coordinator import Coordinator, WorkerHandle
+from repro.distrib.errors import WorkerLost
+from repro.tuner.evaluation import (
+    CandidateEvaluator,
+    CandidateResult,
+    FlagKey,
+    next_evaluator_id,
+)
+
+#: An indexed task: (submission index into the current ``map`` call, key).
+IndexedTask = Tuple[int, FlagKey]
+
+
+class DistributedMapper:
+    """Maps candidate batches over a :class:`Coordinator`'s workers.
+
+    One mapper serves one evaluator (one program of a campaign); the
+    evaluator is pickled exactly once, and its id comes from the same
+    monotonic counter the shared in-process pool draws from, so ids never
+    alias across dispatch modes.  ``close`` tears the coordinator down only
+    when this mapper created it (``own_coordinator=True``, the standalone
+    ``executor="distributed"`` tuner path); a campaign's pool owns its
+    coordinator and outlives every per-program mapper.
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        evaluator: CandidateEvaluator,
+        evaluator_id: Optional[int] = None,
+        max_dispatch_rounds: int = 3,
+        own_coordinator: bool = False,
+    ) -> None:
+        if max_dispatch_rounds < 1:
+            raise ValueError(f"max_dispatch_rounds must be >= 1, got {max_dispatch_rounds}")
+        self._coordinator = coordinator
+        self._evaluator = evaluator
+        self.evaluator_id = next_evaluator_id() if evaluator_id is None else evaluator_id
+        self._blob = pickle.dumps(evaluator)
+        self.max_dispatch_rounds = max_dispatch_rounds
+        self._own_coordinator = own_coordinator
+        #: Keys evaluated in-process because no worker (or no budget) was
+        #: left — observability for tests and the demo.
+        self.fallback_evaluations = 0
+
+    @property
+    def coordinator(self) -> Coordinator:
+        return self._coordinator
+
+    @property
+    def workers(self) -> int:
+        """Live worker count (1 when none: the in-process fallback lane)."""
+        return max(1, self._coordinator.worker_count())
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    @staticmethod
+    def _assign(
+        pending: Sequence[IndexedTask], handles: Sequence[WorkerHandle]
+    ) -> List[Tuple[WorkerHandle, List[IndexedTask]]]:
+        """Deal pending tasks over workers, weighted by advertised slots."""
+        cycle: List[WorkerHandle] = [h for h in handles for _ in range(h.slots)]
+        chunks: Dict[int, List[IndexedTask]] = {h.worker_id: [] for h in handles}
+        for position, task in enumerate(pending):
+            chunks[cycle[position % len(cycle)].worker_id].append(task)
+        return [(h, chunks[h.worker_id]) for h in handles if chunks[h.worker_id]]
+
+    def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        if not keys:
+            return []
+        results: List[Optional[CandidateResult]] = [None] * len(keys)
+        pending: List[IndexedTask] = list(enumerate(keys))
+        rounds = 0
+        while pending:
+            handles = self._coordinator.workers()
+            if not handles or rounds >= self.max_dispatch_rounds:
+                self.fallback_evaluations += len(pending)
+                for index, key in pending:
+                    results[index] = self._evaluator(key)
+                break
+            rounds += 1
+            lost: List[IndexedTask] = []
+            errors: List[BaseException] = []
+            collect = threading.Lock()
+
+            def dispatch(handle: WorkerHandle, chunk: List[IndexedTask]) -> None:
+                try:
+                    delivered = self._coordinator.run_batch(
+                        handle, self.evaluator_id, self._blob, chunk
+                    )
+                except WorkerLost:
+                    self._coordinator.discard(handle)
+                    with collect:
+                        lost.extend(chunk)
+                except BaseException as exc:  # remote evaluator error: propagate
+                    with collect:
+                        errors.append(exc)
+                else:
+                    for index, result in delivered:
+                        results[index] = result
+
+            threads = [
+                threading.Thread(target=dispatch, args=(handle, chunk), daemon=True)
+                for handle, chunk in self._assign(pending, handles)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+            # Re-dispatch in submission order: irrelevant to the results
+            # (ordering is fixed by index) but it keeps logs readable.
+            pending = sorted(lost)
+        return results  # type: ignore[return-value]  # every slot is filled above
+
+    def close(self) -> None:
+        if self._own_coordinator:
+            self._coordinator.close()

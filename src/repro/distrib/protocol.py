@@ -1,0 +1,260 @@
+"""Wire protocol of the distributed evaluation service.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length followed by
+that many bytes of pickle.  Length-prefixed framing over plain stream sockets
+(instead of ``multiprocessing.connection``) keeps the transport inspectable —
+per-message timeouts, bounded frame sizes, and an exact EOF story — without
+any dependency beyond the stdlib.
+
+The conversation is strictly request/response per worker:
+
+* worker → coordinator: :class:`Hello` (capacity advertisement);
+* coordinator → worker: :class:`Welcome` (the assigned worker id);
+* coordinator → worker: :class:`EvalBatch` — an evaluator id, an optional
+  pickle-once evaluator blob (sent only when the coordinator believes the
+  worker does not hold that evaluator), and ``(index, FlagKey)`` tasks;
+* worker → coordinator: :class:`BatchResult` (indexed results),
+  :class:`BatchFailure` (the evaluator raised — a programming error, not a
+  transport failure), or :class:`EvaluatorMissing` (the worker's bounded
+  cache evicted that evaluator; the coordinator re-sends with the blob);
+* coordinator → worker: :class:`Shutdown`.
+
+Results travel with their submission *index*, never their completion order:
+the mapper slots them back by index, which is what keeps distributed runs
+bit-for-bit identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.distrib.errors import AuthenticationError, ConnectionClosed, ProtocolError
+
+#: Corruption guard, not a budget: an evaluator blob (compiler + baseline
+#: image + source) is tens of kilobytes, a batch of flag keys far less.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker registration: how many evaluation slots it advertises."""
+
+    slots: int = 1
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Coordinator's handshake reply: the worker's assigned id."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class EvalBatch:
+    """A slice of one generation: ``(submission index, flag key)`` tasks.
+
+    ``blob`` is the pickled evaluator, included only when the coordinator
+    believes this worker has never seen (or has evicted) ``evaluator_id``.
+    """
+
+    evaluator_id: int
+    tasks: Tuple[Tuple[int, Tuple[str, ...]], ...]
+    blob: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Indexed :class:`~repro.tuner.evaluation.CandidateResult` objects."""
+
+    evaluator_id: int
+    results: Tuple[Tuple[int, object], ...]
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """The worker's evaluator raised — a programming error to propagate,
+    never a reason to re-dispatch.  ``exception`` is the original exception
+    when it survives pickling, else ``None`` (``message`` always survives)."""
+
+    evaluator_id: int
+    message: str
+    exception: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class EvaluatorMissing:
+    """The worker does not hold ``evaluator_id`` (bounded cache eviction)."""
+
+    evaluator_id: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator → worker: drain and exit cleanly."""
+
+
+MESSAGE_TYPES = (
+    Hello, Welcome, EvalBatch, BatchResult, BatchFailure, EvaluatorMissing, Shutdown,
+)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def send_message(sock: socket.socket, message: object) -> None:
+    """Pickle ``message`` and write it as one length-prefixed frame."""
+    if not isinstance(message, MESSAGE_TYPES):
+        raise ProtocolError(f"refusing to send non-protocol object {type(message).__name__}")
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"{type(message).__name__} frame of {len(payload)} bytes exceeds "
+            f"the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise ConnectionClosed(f"peer went away mid-send: {exc}") from exc
+
+
+def recv_message(sock: socket.socket) -> object:
+    """Read one frame and unpickle it; type-checked against the protocol."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame announces {length} bytes (limit {MAX_FRAME_BYTES}); "
+            "the stream is corrupt or the peer speaks another protocol"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"frame did not unpickle: {exc}") from exc
+    if not isinstance(message, MESSAGE_TYPES):
+        raise ProtocolError(f"unexpected message type {type(message).__name__}")
+    return message
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except TimeoutError:
+            raise  # the coordinator turns per-batch timeouts into WorkerLost
+        except OSError as exc:
+            raise ConnectionClosed(f"peer went away mid-frame: {exc}") from exc
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Authentication
+# ---------------------------------------------------------------------------
+#
+# ``pickle.loads`` on attacker-controlled bytes is remote code execution, so
+# a coordinator bound beyond loopback must never unpickle before the peer
+# proves knowledge of the shared ``authkey``.  The handshake is a *mutual*
+# HMAC-SHA256 challenge-response over raw (never pickled) frames — the same
+# scheme as ``multiprocessing.connection``, both directions: the coordinator
+# challenges the worker first, then the worker challenges the coordinator
+# (a rogue "coordinator" must not be able to feed workers poisoned blobs).
+
+#: Raw handshake frames are tiny; anything bigger is not our handshake.
+_MAX_AUTH_FRAME = 256
+_CHALLENGE_PREFIX = b"repro-distrib-challenge:"
+_DIGEST_PREFIX = b"repro-distrib-digest:"
+_AUTH_OK = b"repro-distrib-ok"
+
+
+def _send_raw(sock: socket.socket, payload: bytes) -> None:
+    try:
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise ConnectionClosed(f"peer went away mid-handshake: {exc}") from exc
+
+
+def _recv_raw(sock: socket.socket) -> bytes:
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > _MAX_AUTH_FRAME:
+        raise AuthenticationError(
+            f"handshake frame of {length} bytes (limit {_MAX_AUTH_FRAME}); "
+            "peer is not speaking the authentication protocol"
+        )
+    return _recv_exact(sock, length)
+
+
+def normalize_authkey(authkey: Union[str, bytes, None]) -> Optional[bytes]:
+    if authkey is None:
+        return None
+    return authkey.encode() if isinstance(authkey, str) else bytes(authkey)
+
+
+def _challenge(sock: socket.socket, authkey: bytes) -> None:
+    """Challenge the peer; raises :class:`AuthenticationError` on mismatch."""
+    nonce = os.urandom(32)
+    _send_raw(sock, _CHALLENGE_PREFIX + nonce)
+    reply = _recv_raw(sock)
+    expected = _DIGEST_PREFIX + hmac.new(authkey, nonce, "sha256").digest()
+    if not hmac.compare_digest(reply, expected):
+        raise AuthenticationError("peer failed the authkey challenge")
+    _send_raw(sock, _AUTH_OK)
+
+
+def _respond(sock: socket.socket, authkey: bytes) -> None:
+    """Answer the peer's challenge; raises on rejection."""
+    frame = _recv_raw(sock)
+    if not frame.startswith(_CHALLENGE_PREFIX):
+        raise AuthenticationError("peer did not send an authkey challenge")
+    nonce = frame[len(_CHALLENGE_PREFIX):]
+    _send_raw(sock, _DIGEST_PREFIX + hmac.new(authkey, nonce, "sha256").digest())
+    if _recv_raw(sock) != _AUTH_OK:
+        raise AuthenticationError("peer rejected our authkey digest")
+
+
+def authenticate(sock: socket.socket, authkey: bytes, server: bool) -> None:
+    """Run the mutual handshake (coordinator passes ``server=True``)."""
+    if server:
+        _challenge(sock, authkey)
+        _respond(sock, authkey)
+    else:
+        _respond(sock, authkey)
+        _challenge(sock, authkey)
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; a bare ``":0"`` means loopback."""
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not port.lstrip("-").isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    number = int(port)
+    if not 0 <= number <= 65535:
+        raise ValueError(f"port {number} out of range in {address!r}")
+    return (host or "127.0.0.1", number)
+
+
+def format_address(host: str, port: int) -> str:
+    return f"{host}:{port}"

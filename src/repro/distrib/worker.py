@@ -1,0 +1,225 @@
+"""The worker loop and its CLI: ``python -m repro.distrib.worker``.
+
+A worker is one process (on this machine or another) that connects to a
+coordinator, advertises its capacity, and serves evaluation batches until
+told to shut down::
+
+    python -m repro.distrib.worker --connect HOST:PORT [--slots N]
+
+Evaluators arrive as pickle-once blobs keyed by the same monotonic evaluator
+ids the in-process :class:`~repro.campaign.pool.SharedWorkerPool` uses; each
+is deserialized at most once and kept in a bounded FIFO cache (the same
+bound as the pool's per-process cache), so a long campaign over many
+programs cannot pile baselines up in worker memory.  Evicted evaluators are
+recovered via the :class:`~repro.distrib.protocol.EvaluatorMissing` reply —
+the coordinator re-sends the blob.
+
+An evaluator exception is reported back as a :class:`~repro.distrib.
+protocol.BatchFailure` (programming errors must propagate to the campaign,
+exactly as they do in-process); a transport failure toward the coordinator
+ends the worker.  ``--max-batches N`` is the failure-injection knob behind
+the worker-loss determinism tests: the worker serves N batches, then dies
+*without replying* on the next one, like a machine crash mid-generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.distrib.errors import AuthenticationError, ConnectionClosed, ProtocolError
+from repro.distrib.protocol import (
+    BatchFailure,
+    BatchResult,
+    EvalBatch,
+    EvaluatorMissing,
+    Hello,
+    Shutdown,
+    Welcome,
+    authenticate,
+    normalize_authkey,
+    parse_address,
+    recv_message,
+    send_message,
+)
+from repro.tuner.evaluation import EVALUATOR_CACHE_LIMIT
+
+#: Exit status of a ``--max-batches`` induced crash (distinct from clean 0).
+CRASH_EXIT_STATUS = 17
+
+
+def _exception_survives_pickle(exc: BaseException) -> bool:
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return True
+    except Exception:
+        return False
+
+
+def serve(
+    connect: str,
+    slots: int = 1,
+    cache_limit: int = EVALUATOR_CACHE_LIMIT,
+    max_batches: Optional[int] = None,
+    hard_exit: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+    authkey=None,
+) -> int:
+    """Run one worker until shutdown; returns a process exit status.
+
+    ``slots > 1`` evaluates each batch on that many threads (the coordinator
+    also weights batch partitioning by slots, so the capacity claim must be
+    real — a sequential worker advertising 8 slots would just become the
+    per-generation straggler).  ``hard_exit=True`` (the CLI default) makes
+    the ``--max-batches`` crash an ``os._exit`` — a real process death.
+    Tests that run workers as threads pass ``False`` so the crash degrades
+    to closing the socket and returning, which the coordinator observes
+    identically (EOF mid-batch).
+    """
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+    if cache_limit < 1:
+        raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
+    emit = log if log is not None else (lambda message: None)
+    authkey = normalize_authkey(authkey)
+    host, port = parse_address(connect)
+    sock = socket.create_connection((host, port))
+    executor = None
+    try:
+        try:
+            if authkey is not None:
+                authenticate(sock, authkey, server=False)
+            send_message(sock, Hello(slots=slots))
+            welcome = recv_message(sock)
+            if not isinstance(welcome, Welcome):
+                raise ProtocolError(f"expected Welcome, got {type(welcome).__name__}")
+        except (AuthenticationError, ProtocolError, ConnectionClosed) as exc:
+            # Key mismatch presents as either an explicit rejection or the
+            # coordinator's challenge frame failing to unpickle; both mean
+            # "wrong or missing authkey", not a crash.
+            emit(f"worker: handshake with {connect} failed: {exc}")
+            return 3
+        emit(f"worker {welcome.worker_id}: connected to {connect} with {slots} slot(s)")
+        #: evaluator id -> deserialized evaluator, FIFO-bounded like
+        #: the shared pool's per-process cache.
+        evaluators: Dict[int, object] = {}
+        batches_done = 0
+        while True:
+            try:
+                message = recv_message(sock)
+            except ConnectionClosed:
+                emit(f"worker {welcome.worker_id}: coordinator went away, exiting")
+                return 0
+            if isinstance(message, Shutdown):
+                emit(f"worker {welcome.worker_id}: shutdown after {batches_done} batch(es)")
+                return 0
+            if not isinstance(message, EvalBatch):
+                raise ProtocolError(f"unexpected message {type(message).__name__}")
+            if max_batches is not None and batches_done >= max_batches:
+                # Failure injection: die without replying, mid-batch.
+                emit(f"worker {welcome.worker_id}: injected crash on batch {batches_done + 1}")
+                sock.close()
+                if hard_exit:
+                    os._exit(CRASH_EXIT_STATUS)
+                return CRASH_EXIT_STATUS
+            evaluator = evaluators.get(message.evaluator_id)
+            if evaluator is None:
+                if message.blob is None:
+                    send_message(sock, EvaluatorMissing(message.evaluator_id))
+                    continue
+                evaluator = pickle.loads(message.blob)
+                while len(evaluators) >= cache_limit:
+                    evaluators.pop(next(iter(evaluators)))
+                evaluators[message.evaluator_id] = evaluator
+            try:
+                if slots > 1:
+                    if executor is None:
+                        from concurrent.futures import ThreadPoolExecutor
+
+                        executor = ThreadPoolExecutor(
+                            max_workers=slots, thread_name_prefix="worker-slot"
+                        )
+                    keys = [key for _index, key in message.tasks]
+                    values = list(executor.map(evaluator, keys))
+                    results = tuple(
+                        (index, value)
+                        for (index, _key), value in zip(message.tasks, values)
+                    )
+                else:
+                    results = tuple(
+                        (index, evaluator(key)) for index, key in message.tasks
+                    )
+            except Exception as exc:
+                send_message(
+                    sock,
+                    BatchFailure(
+                        message.evaluator_id,
+                        f"{type(exc).__name__}: {exc}",
+                        exc if _exception_survives_pickle(exc) else None,
+                    ),
+                )
+                continue  # the error was deterministic; keep serving
+            send_message(sock, BatchResult(message.evaluator_id, results))
+            batches_done += 1
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distrib.worker",
+        description="Serve candidate evaluations for a distributed campaign.",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to register with")
+    parser.add_argument("--slots", type=int, default=1,
+                        help="evaluation threads; also weights how the "
+                             "coordinator partitions batches (default: 1)")
+    parser.add_argument("--cache-limit", type=int, default=EVALUATOR_CACHE_LIMIT,
+                        help="bounded evaluator cache size (default: "
+                             f"{EVALUATOR_CACHE_LIMIT}, the shared-pool bound)")
+    parser.add_argument("--max-batches", type=int, default=None,
+                        help="failure injection: serve N batches, then crash "
+                             "without replying (worker-loss tests/demos)")
+    parser.add_argument("--authkey", default=os.environ.get("REPRO_DISTRIB_AUTHKEY"),
+                        help="shared secret for the coordinator handshake "
+                             "(default: $REPRO_DISTRIB_AUTHKEY; required when "
+                             "the coordinator was started with one)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-connection log lines")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
+    try:
+        return serve(
+            args.connect,
+            slots=args.slots,
+            cache_limit=args.cache_limit,
+            max_batches=args.max_batches,
+            hard_exit=True,
+            log=log,
+            authkey=args.authkey,
+        )
+    except ConnectionRefusedError:
+        print(f"no coordinator listening at {args.connect}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,9 +31,13 @@ from repro.tuner.evaluation import (
     CandidateResult,
     EvaluationEngine,
     EvaluationStats,
+    MapperTransportError,
     ProcessPoolMapper,
     SerialMapper,
+    ThreadPoolMapper,
     TunerCandidateEvaluator,
+    make_mapper,
+    next_evaluator_id,
 )
 from repro.tuner.tuner import (
     BinTuner,
@@ -57,9 +61,13 @@ __all__ = [
     "CandidateResult",
     "EvaluationEngine",
     "EvaluationStats",
+    "MapperTransportError",
     "ProcessPoolMapper",
     "SerialMapper",
+    "ThreadPoolMapper",
     "TunerCandidateEvaluator",
+    "make_mapper",
+    "next_evaluator_id",
     "BinTuner",
     "BinTunerConfig",
     "TuningResult",

@@ -11,10 +11,13 @@ orchestrator into a composable subsystem:
   against itself, so a fingerprint that was ever compiled is never compiled
   again and intra-batch duplicates are evaluated exactly once;
 * the surviving misses are dispatched to a worker mapper — the deterministic
-  in-process :class:`SerialMapper` by default, or a
-  :class:`ProcessPoolMapper` over ``concurrent.futures.ProcessPoolExecutor``;
+  in-process :class:`SerialMapper` by default, a :class:`ProcessPoolMapper`
+  over ``concurrent.futures.ProcessPoolExecutor``, a :class:`ThreadPoolMapper`
+  for free-threaded builds, or the multi-machine
+  :class:`~repro.distrib.mapper.DistributedMapper`;
 * results are recorded in *submission* order regardless of worker completion
-  order, so a run is bit-for-bit reproducible for any worker count.
+  order, so a run is bit-for-bit reproducible for any worker count — or, with
+  the distributed mapper, any machine count.
 
 The worker side is a picklable :class:`TunerCandidateEvaluator` that carries
 the compiler, the build spec fields and the baseline; per-process state (the
@@ -23,6 +26,8 @@ cached NCD fitness, lazily built) never crosses the pipe.
 
 from __future__ import annotations
 
+import itertools
+import pickle
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -52,8 +57,43 @@ class CandidateResult:
 
 
 #: A candidate evaluator: canonical flag key -> result.  Must be picklable to
-#: be used with :class:`ProcessPoolMapper`.
+#: be used with :class:`ProcessPoolMapper` or the distributed mapper.
 CandidateEvaluator = Callable[[FlagKey], CandidateResult]
+
+#: Bound on the per-worker evaluator cache: campaign jobs run sequentially,
+#: so evaluators of long-finished programs (each holding a source plus the
+#: O0 baseline image) must not pile up for the life of the campaign.  Shared
+#: by the process pool's worker-global cache and the remote worker loop.
+EVALUATOR_CACHE_LIMIT = 4
+
+#: One process-wide monotonic counter behind every evaluator-carrying
+#: mapper: ids can never alias, whether a campaign mixes dispatch modes or
+#: not.  (`next` on an ``itertools.count`` is atomic under the GIL.)
+_EVALUATOR_IDS = itertools.count(1)
+
+
+def next_evaluator_id() -> int:
+    """The next process-unique evaluator id (shared across dispatch modes)."""
+    return next(_EVALUATOR_IDS)
+
+
+class MapperTransportError(RuntimeError):
+    """The mapper's *transport* failed — a broken process-pool pipe, a dead
+    remote worker, an unpicklable payload — as opposed to the evaluator
+    itself raising.  Carries the evaluator id and the offending
+    :data:`FlagKey` batch slice so the error is actionable instead of a bare
+    pickle/EOF traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        evaluator_id: Optional[int] = None,
+        keys: Sequence[FlagKey] = (),
+    ) -> None:
+        super().__init__(message)
+        self.evaluator_id = evaluator_id
+        self.keys = tuple(keys)
 
 
 # ---------------------------------------------------------------------------
@@ -64,6 +104,8 @@ class SerialMapper:
     """Deterministic in-process mapper (the default and the fallback)."""
 
     workers = 1
+    #: No pickle blob ever leaves the process, so no id is needed.
+    evaluator_id: Optional[int] = None
 
     def __init__(self, evaluator: CandidateEvaluator) -> None:
         self._evaluator = evaluator
@@ -104,6 +146,7 @@ class ProcessPoolMapper:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._evaluator = evaluator
         self.workers = workers
+        self.evaluator_id = next_evaluator_id()
         self._pool = None
 
     def _ensure_pool(self):
@@ -128,14 +171,80 @@ class ProcessPoolMapper:
             self._pool = None
 
 
+class ThreadPoolMapper:
+    """Thread-based mapper (``executor="thread"``).
+
+    Threads share the process, so the serial evaluator is reused directly —
+    no pickling, no per-worker caches, no spawn cost.  Under the default GIL
+    build this buys little for the CPU-bound evaluator; it exists for
+    free-threaded builds (PEP 703), where the compile+emulate+score pipeline
+    parallelizes without the process pool's serialization tax.  Determinism
+    is unchanged: ``Executor.map`` yields results in submission order.
+    """
+
+    evaluator_id: Optional[int] = None
+
+    def __init__(self, evaluator: CandidateEvaluator, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._evaluator = evaluator
+        self.workers = workers
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="evaluation-mapper"
+            )
+        return self._pool
+
+    def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        if not keys:
+            return []
+        return list(self._ensure_pool().map(self._evaluator, keys))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+#: Dispatch modes every (executor, workers) resolver accepts.
+EXECUTORS = ("serial", "process", "thread", "distributed")
+
+
 def make_mapper(
-    evaluator: CandidateEvaluator, executor: str = "serial", workers: int = 1
+    evaluator: CandidateEvaluator,
+    executor: str = "serial",
+    workers: int = 1,
+    serve: Optional[str] = None,
 ):
-    """Resolve the (executor, workers) knobs into a mapper instance."""
-    if executor not in ("serial", "process"):
-        raise ValueError(f"unknown executor {executor!r} (use 'serial' or 'process')")
+    """Resolve the (executor, workers) knobs into a mapper instance.
+
+    ``serve`` applies to ``executor="distributed"`` only: the ``HOST:PORT``
+    the coordinator binds (``"127.0.0.1:0"`` — loopback, ephemeral port — by
+    default; read the bound address off ``mapper.coordinator``).  The
+    returned distributed mapper owns its coordinator and tears it down on
+    ``close``; campaigns that want one coordinator spanning many programs
+    build their mappers through the shared pool instead.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r} (use one of {', '.join(EXECUTORS)})")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor == "thread":
+        return ThreadPoolMapper(evaluator, workers=workers)
+    if executor == "distributed":
+        from repro.distrib.coordinator import Coordinator
+        from repro.distrib.mapper import DistributedMapper
+        from repro.distrib.protocol import parse_address
+
+        host, port = parse_address(serve) if serve else ("127.0.0.1", 0)
+        return DistributedMapper(
+            Coordinator(host=host, port=port), evaluator, own_coordinator=True
+        )
     if executor == "process" or workers > 1:
         return ProcessPoolMapper(evaluator, workers=workers)
     return SerialMapper(evaluator)
@@ -294,6 +403,7 @@ class EvaluationEngine:
         executor: str = "serial",
         workers: int = 1,
         mapper=None,
+        serve: Optional[str] = None,
     ) -> None:
         self.database = database if database is not None else TuningDatabase()
         self.stats = EvaluationStats()
@@ -305,8 +415,12 @@ class EvaluationEngine:
         # An injected mapper (e.g. a campaign's shared worker pool) wins over
         # the (executor, workers) knobs; its lifetime belongs to the injector.
         self._mapper = mapper if mapper is not None else make_mapper(
-            evaluator, executor=executor, workers=workers
+            evaluator, executor=executor, workers=workers, serve=serve
         )
+
+    @property
+    def mapper(self):
+        return self._mapper
 
     @property
     def workers(self) -> int:
@@ -330,7 +444,7 @@ class EvaluationEngine:
                 scores[key] = cached.fitness
             else:
                 misses[key] = None
-        results = self._mapper.map(list(misses))
+        results = self._dispatch(list(misses), generation)
         for key, result in zip(misses, results):
             self.stats.evaluated += 1
             self.stats.worker_seconds += result.elapsed_seconds
@@ -352,6 +466,38 @@ class EvaluationEngine:
         if misses and self.on_batch is not None:
             self.on_batch(self)
         return [scores[key] for key in keys]
+
+    def _dispatch(self, miss_keys: List[FlagKey], generation: int) -> List[CandidateResult]:
+        """``mapper.map`` with transport failures made actionable.
+
+        A dead worker process or remote machine otherwise surfaces as a bare
+        ``BrokenProcessPool``/``EOFError``/pickle traceback with no hint of
+        *which* evaluator or candidates were in flight; domain and
+        programming errors from the evaluator itself pass through untouched.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        from repro.distrib.errors import ProtocolError
+
+        try:
+            return self._mapper.map(miss_keys)
+        except MapperTransportError:
+            raise
+        except (BrokenExecutor, EOFError, ConnectionError, pickle.PickleError,
+                ProtocolError) as exc:
+            evaluator_id = getattr(self._mapper, "evaluator_id", None)
+            preview = ", ".join(
+                "+".join(key) if key else "<no flags>" for key in miss_keys[:3]
+            )
+            if len(miss_keys) > 3:
+                preview += ", ..."
+            raise MapperTransportError(
+                f"mapper transport failed for evaluator id {evaluator_id} on batch "
+                f"{generation} ({len(miss_keys)} candidate(s): {preview}): "
+                f"{type(exc).__name__}: {exc}",
+                evaluator_id=evaluator_id,
+                keys=miss_keys,
+            ) from exc
 
     def evaluate(self, vector: FlagVector) -> float:
         """Single-candidate convenience wrapper (a batch of one)."""

@@ -95,10 +95,17 @@ class BinTunerConfig:
     max_emulation_steps: int = 2_000_000
     #: Evaluation-engine knobs: "serial" runs candidates in-process (the
     #: deterministic default), "process" dispatches each generation to a
-    #: ``ProcessPoolExecutor`` with ``workers`` processes.  ``workers > 1``
-    #: implies the process executor.
+    #: ``ProcessPoolExecutor`` with ``workers`` processes, "thread" to a
+    #: ``ThreadPoolExecutor`` (free-threaded builds), and "distributed"
+    #: serves them to remote workers over the network (see
+    #: :mod:`repro.distrib`).  ``workers > 1`` with the default executor
+    #: implies the process pool.  Results are identical across every mode.
     executor: str = "serial"
     workers: int = 1
+    #: ``HOST:PORT`` the coordinator binds when ``executor="distributed"``
+    #: (default: loopback on an ephemeral port; read the bound address off
+    #: ``tuner.evaluation_engine().mapper.coordinator``).
+    serve: Optional[str] = None
     #: Warm-start flag tuples injected into the GA's initial population —
     #: best configurations of already-tuned programs in a campaign.  Names
     #: unknown to the target compiler's registry are dropped silently.
@@ -207,6 +214,7 @@ class BinTuner:
                 executor=self.config.executor,
                 workers=self.config.workers,
                 mapper=mapper,
+                serve=self.config.serve,
             )
         return self._engine
 

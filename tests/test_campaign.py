@@ -361,3 +361,34 @@ class TestCampaignCLI:
         from repro.campaign.cli import main
 
         assert main(["--families", ""]) == 2
+
+    def test_report_subcommand_regenerates_tables(self, tmp_path, capsys):
+        """``report`` rebuilds summary/potency/overlap from checkpoints
+        alone — same fingerprint as the run that wrote them, no re-tuning."""
+        from repro.campaign.cli import main
+
+        assert main([
+            "--benchmarks", "462.libquantum,429.mcf",
+            "--families", "llvm",
+            "--max-iterations", "10",
+            "--population", "6",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--json", str(tmp_path / "run.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", str(tmp_path / "ckpt"), "--json", str(tmp_path / "report.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-flag potency" in out and "best-config overlap" in out
+        run_payload = json.loads((tmp_path / "run.json").read_text())
+        report_payload = json.loads((tmp_path / "report.json").read_text())
+        assert report_payload["fingerprint"] == run_payload["fingerprint"]
+        assert len(report_payload["summary"]) == 2
+        assert report_payload["flag_frequency"]["llvm"]
+        assert len(report_payload["best_overlap"]) == 1  # one unordered pair
+
+    def test_report_subcommand_rejects_missing_checkpoint(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+
+        assert main(["report", str(tmp_path / "nowhere")]) == 2
