@@ -1,9 +1,20 @@
 """Table 3: execution speedup comparison (O3 vs BinTuner, relative to O0),
-plus the evaluation-engine serial-vs-parallel wall-clock / cache-hit report."""
+plus the evaluation-engine serial-vs-parallel wall-clock / cache-hit report
+and the staged-vs-monolithic pipeline comparison (per-stage wall clock,
+artifact-cache hit ratio; exported to ``$REPRO_BENCH_PIPELINE_JSON`` for the
+CI artifact)."""
+
+import json
+import os
+from pathlib import Path
 
 from conftest import run_once
 
-from repro.experiments import run_parallel_evaluation_speedup, run_table3_speedup
+from repro.experiments import (
+    run_parallel_evaluation_speedup,
+    run_pipeline_comparison,
+    run_table3_speedup,
+)
 
 
 def test_table3_speedup(benchmark, tuning_config, bench_benchmarks):
@@ -46,3 +57,35 @@ def test_parallel_evaluation_speedup(benchmark, tuning_config, bench_benchmarks)
     assert report["evaluated"] + report["cache_hits"] == report["requested"]
     # GA elitism resubmits elites every generation, so dedup always saves work.
     assert report["cache_hits"] > 0
+
+
+def test_pipeline_comparison(benchmark, tuning_config, bench_benchmarks):
+    report = run_once(
+        benchmark,
+        run_pipeline_comparison,
+        family="llvm",
+        benchmarks=tuple(bench_benchmarks[:2]),
+        config=tuning_config,
+    )
+    stages = report["stage_seconds"]
+    print("\nEvaluation pipeline — staged vs. monolithic (2-program campaign):")
+    print(f"  monolithic  {report['monolithic_seconds']:7.2f}s")
+    print(f"  staged cold {report['staged_seconds']:7.2f}s  "
+          f"(compile {stages['compile']:.2f}s, measure {stages['measure']:.2f}s, "
+          f"score {stages['score']:.2f}s)")
+    print(f"  staged warm {report['warm_rerun_seconds']:7.2f}s  "
+          f"(rerun against the populated artifact cache, "
+          f"{report['warm_rerun_speedup']:.2f}x vs cold)")
+    print(f"  artifact cache: warm hit ratio {report['warm_artifact_hit_ratio']:.1%} "
+          f"({report['warm_artifact_hits']} hits), "
+          f"{report['artifact_cache']['entries']} entries, "
+          f"{report['artifact_cache']['evictions']} evictions")
+    # Determinism is the contract: all three runs, one fingerprint.
+    assert report["identical_fingerprints"]
+    # The warm rerun must actually reuse artifacts (the acceptance criterion:
+    # artifact-cache hit ratio > 0 on a warm-started campaign rerun).
+    assert report["warm_artifact_hits"] > 0
+    assert report["warm_artifact_hit_ratio"] > 0.0
+    out_path = os.environ.get("REPRO_BENCH_PIPELINE_JSON")
+    if out_path:
+        Path(out_path).write_text(json.dumps(report, indent=2))

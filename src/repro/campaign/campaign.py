@@ -42,6 +42,7 @@ from repro.campaign.database import CampaignDatabase, ShardKey
 from repro.campaign.pool import SharedWorkerPool
 from repro.tuner.database import write_text_atomic
 from repro.tuner import BinTuner, BinTunerConfig, BuildSpec, EvaluationStats, TuningResult
+from repro.tuner.pipeline import DEFAULT_ARTIFACT_CACHE_SIZE, PIPELINES, ArtifactCache
 from repro.workloads import benchmark, suite_benchmarks
 
 MANIFEST_VERSION = 1
@@ -107,6 +108,14 @@ class CampaignConfig:
     min_workers: int = 0
     #: How long :attr:`min_workers` may take before the campaign errors out.
     worker_wait_timeout: float = 120.0
+    #: Candidate-evaluation pipeline for every job: ``"staged"`` (cached,
+    #: overlappable compile/measure/score stages) or ``"monolithic"`` (the
+    #: original opaque closure).  Results are bit-for-bit identical; staged
+    #: additionally reuses compiled artifacts across programs and reruns.
+    pipeline: str = "staged"
+    #: Bound (entries) of the campaign-wide artifact cache shared by every
+    #: job's staged evaluator.
+    artifact_cache_size: int = DEFAULT_ARTIFACT_CACHE_SIZE
     #: Seed later programs' GA populations with earlier programs' best flags.
     warm_start: bool = True
     #: At most this many prior bests are injected per program.
@@ -133,7 +142,7 @@ class ProgramResult:
     tuning: Optional[TuningResult] = None
 
     def as_manifest_entry(self) -> Dict[str, object]:
-        return {
+        entry = {
             "family": self.job.family,
             "program": self.job.program,
             "best_flags": list(self.best_flags),
@@ -142,9 +151,16 @@ class ProgramResult:
             "elapsed_seconds": self.elapsed_seconds,
             "warm_start": [list(flags) for flags in self.warm_start],
         }
+        if self.evaluation_stats is not None:
+            # Per-stage wall clock + artifact-cache accounting survive into
+            # the checkpoint so ``repro.campaign report`` can surface them
+            # without re-running anything.
+            entry["evaluation"] = self.evaluation_stats.as_dict()
+        return entry
 
     @classmethod
     def from_manifest_entry(cls, entry: Dict[str, object]) -> "ProgramResult":
+        evaluation = entry.get("evaluation")
         return cls(
             job=ProgramJob(family=entry["family"], program=entry["program"]),
             best_flags=tuple(entry["best_flags"]),
@@ -153,6 +169,9 @@ class ProgramResult:
             elapsed_seconds=entry["elapsed_seconds"],
             warm_start=tuple(tuple(flags) for flags in entry.get("warm_start", [])),
             resumed=True,
+            evaluation_stats=(
+                EvaluationStats.from_dict(evaluation) if evaluation else None
+            ),
         )
 
 
@@ -165,12 +184,23 @@ class CampaignResult:
     elapsed_seconds: float
     #: True when ``run(limit=...)`` stopped before the job list was done.
     interrupted: bool = False
+    #: Snapshot of the campaign-wide artifact cache after the run (staged
+    #: pipeline only; ``None`` for monolithic campaigns).
+    artifact_cache_stats: Optional[Dict[str, object]] = None
 
     def result_for(self, family: str, program: str) -> ProgramResult:
         for result in self.programs:
             if result.job.key() == (family, program):
                 return result
         raise KeyError(f"no result for {(family, program)!r}")
+
+    def evaluation_stats(self) -> EvaluationStats:
+        """Field-wise sum of every program's per-run evaluation counters."""
+        total = EvaluationStats()
+        for program in self.programs:
+            if program.evaluation_stats is not None:
+                total = total.add(program.evaluation_stats)
+        return total
 
     def fingerprint(self) -> str:
         return self.database.fingerprint()
@@ -189,16 +219,35 @@ class Campaign:
         compiler_provider: Callable[[str], Compiler] = default_compiler_provider,
         spec_provider: Callable[[ProgramJob], BuildSpec] = workload_spec_provider,
         database: Optional[CampaignDatabase] = None,
+        artifact_cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.jobs = list(jobs)
         if len({job.key() for job in self.jobs}) != len(self.jobs):
             raise ValueError("duplicate (family, program) jobs in campaign")
         self.config = config or CampaignConfig()
+        if self.config.pipeline not in PIPELINES:
+            raise ValueError(
+                f"unknown pipeline {self.config.pipeline!r} "
+                f"(use one of {', '.join(PIPELINES)})"
+            )
         self.compiler_provider = compiler_provider
         self.spec_provider = spec_provider
         self.database = database if database is not None else CampaignDatabase(
             name=self.config.name
         )
+        # One content-addressed cache spans every job: a configuration that
+        # warm starts (or simply recurs) in a later program of the same
+        # family is a compile-stage hit, not a recompile.  Injectable so a
+        # rerun campaign (same process) can start warm.  Monolithic
+        # campaigns have no stages to feed, so they hold no cache — even an
+        # injected one — keeping ``artifact_cache_stats is None`` an honest
+        # "this campaign did not use artifacts" signal.
+        if self.config.pipeline != "staged":
+            self.artifact_cache: Optional[ArtifactCache] = None
+        elif artifact_cache is not None:
+            self.artifact_cache = artifact_cache
+        else:
+            self.artifact_cache = ArtifactCache(self.config.artifact_cache_size)
 
     @classmethod
     def from_suites(
@@ -238,6 +287,7 @@ class Campaign:
         manifest = {
             "version": MANIFEST_VERSION,
             "name": self.config.name,
+            "pipeline": self.config.pipeline,
             "jobs": [[job.family, job.program] for job in self.jobs],
             "completed": [result.as_manifest_entry() for result in completed],
         }
@@ -310,9 +360,15 @@ class Campaign:
         tuner = BinTuner(
             compiler,
             spec,
-            replace(self.config.tuner, warm_start=warm),
+            replace(
+                self.config.tuner,
+                warm_start=warm,
+                pipeline=self.config.pipeline,
+                artifact_cache_size=self.config.artifact_cache_size,
+            ),
             database=self.database.shard(job.family, job.program),
             mapper_factory=pool.mapper,
+            artifact_cache=self.artifact_cache,
         )
         database_dir = self._database_dir()
         if database_dir is not None:
@@ -412,4 +468,7 @@ class Campaign:
             programs=programs,
             elapsed_seconds=time.perf_counter() - started,
             interrupted=interrupted,
+            artifact_cache_stats=(
+                self.artifact_cache.stats() if self.artifact_cache is not None else None
+            ),
         )

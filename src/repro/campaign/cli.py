@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.campaign.campaign import Campaign, CampaignConfig, ProgramJob, DATABASE_DIR
 from repro.campaign.database import CampaignDatabase
-from repro.tuner import BinTunerConfig, GAParameters
+from repro.tuner import BinTunerConfig, EvaluationStats, GAParameters
 from repro.workloads import SUITES
 
 #: Subcommands in front of the default run mode (``argv[0]`` dispatch keeps
@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --dispatch distributed: shared secret for the "
                              "worker handshake (default: $REPRO_DISTRIB_AUTHKEY; "
                              "required when serving beyond loopback)")
+    parser.add_argument("--pipeline", choices=("staged", "monolithic"), default="staged",
+                        help="candidate-evaluation pipeline: 'staged' splits "
+                             "compile/measure/score into cached, overlappable "
+                             "stages; 'monolithic' is the legacy closure. "
+                             "Results are identical (default: staged)")
+    parser.add_argument("--artifact-cache-size", type=int, default=None,
+                        help="bound (entries) of the campaign-wide artifact "
+                             "cache shared by staged evaluators")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="enable per-generation checkpointing under this directory")
     parser.add_argument("--fresh", action="store_true",
@@ -97,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_campaign(args: argparse.Namespace) -> Campaign:
+    pipeline_knobs = {}
+    if args.artifact_cache_size is not None:
+        pipeline_knobs["artifact_cache_size"] = args.artifact_cache_size
     config = CampaignConfig(
         tuner=BinTunerConfig(
             max_iterations=args.max_iterations,
@@ -109,8 +120,10 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
         serve=args.serve,
         min_workers=args.min_workers,
         authkey=args.authkey,
+        pipeline=args.pipeline,
         warm_start=not args.no_warm_start,
         checkpoint_dir=args.checkpoint_dir,
+        **pipeline_knobs,
     )
     families = [family for family in args.families.split(",") if family]
     if args.benchmarks:
@@ -187,6 +200,21 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
         print("top flags across best configurations:")
         for flag, share in top:
             print(f"  {flag:28s} {share:.0%}")
+    stats = result.evaluation_stats()
+    if stats.evaluated or stats.cache_hits:
+        line = (f"evaluation ({args.pipeline}): {stats.evaluated} compiled, "
+                f"{stats.cache_hits} database hits")
+        if args.pipeline == "staged":
+            line += (f"; stages compile {stats.compile_seconds:.1f}s / "
+                     f"measure {stats.measure_seconds:.1f}s / "
+                     f"score {stats.score_seconds:.1f}s")
+        print(line)
+    if result.artifact_cache_stats is not None:
+        cache = result.artifact_cache_stats
+        print(f"artifact cache: {cache['hits']} hits / {cache['misses']} misses "
+              f"(hit ratio {cache['hit_ratio']:.1%}), "
+              f"{cache['entries']}/{cache['max_entries']} entries, "
+              f"{cache['evictions']} evictions")
     print(f"database fingerprint: {result.fingerprint()}")
     print(f"elapsed: {result.elapsed_seconds:.1f}s over {result.database.total_records()} records")
 
@@ -196,6 +224,9 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             "flag_frequency": frequency,
             "fingerprint": result.fingerprint(),
             "interrupted": result.interrupted,
+            "pipeline": args.pipeline,
+            "evaluation": stats.as_dict(),
+            "artifact_cache": result.artifact_cache_stats,
         }
         args.json_out.write_text(json.dumps(payload, indent=2))
     return 0
@@ -232,6 +263,36 @@ def _locate_database(checkpoint_dir: Path) -> Optional[Path]:
     return None
 
 
+def _manifest_evaluation_stats(checkpoint_dir: Path) -> Optional[EvaluationStats]:
+    """Summed per-program evaluation counters from the checkpoint manifest.
+
+    ``None`` when there is no manifest, it predates the staged pipeline, the
+    campaign ran monolithic, or no stage activity was recorded (a pure
+    checkpoint replay) — i.e. whenever a "pipeline stages" line would be an
+    all-zero fabrication.
+    """
+    manifest_path = Path(checkpoint_dir) / "manifest.json"
+    if not manifest_path.exists():
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if manifest.get("pipeline", "staged") != "staged":
+        return None
+    entries = [entry.get("evaluation") for entry in manifest.get("completed", [])]
+    entries = [entry for entry in entries if entry]
+    if not entries:
+        return None
+    total = EvaluationStats()
+    for entry in entries:
+        total = total.add(EvaluationStats.from_dict(entry))
+    stage_seconds = total.compile_seconds + total.measure_seconds + total.score_seconds
+    if stage_seconds == 0.0 and total.artifact_hits + total.artifact_misses == 0:
+        return None
+    return total
+
+
 def report_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_report_parser().parse_args(argv)
     database_dir = _locate_database(args.checkpoint_dir)
@@ -257,6 +318,19 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
               f"iterations {row['iterations']:4d}  "
               f"best fitness {row['best_fitness']}  "
               f"flags {row['best_flag_count']:2d}  hours {row['hours']}")
+
+    # Staged-pipeline accounting, when the manifest checkpointed it: the
+    # per-stage wall clock and artifact-cache hit counters each completed
+    # program accrued (regenerated without re-running any tuning).
+    pipeline_stats = _manifest_evaluation_stats(args.checkpoint_dir)
+    if pipeline_stats is not None:
+        print(f"\npipeline stages (completed programs): "
+              f"compile {pipeline_stats.compile_seconds:.1f}s / "
+              f"measure {pipeline_stats.measure_seconds:.1f}s / "
+              f"score {pipeline_stats.score_seconds:.1f}s; "
+              f"artifact cache {pipeline_stats.artifact_hits} hits / "
+              f"{pipeline_stats.artifact_misses} misses "
+              f"(hit ratio {pipeline_stats.artifact_hit_ratio:.1%})")
 
     potency: Dict[str, Dict[str, float]] = {}
     for family in families:
@@ -293,6 +367,7 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
             "flag_frequency": potency,
             "best_overlap": overlap_out,
             "fingerprint": database.fingerprint(),
+            "evaluation": pipeline_stats.as_dict() if pipeline_stats else None,
         }
         args.json_out.write_text(json.dumps(payload, indent=2))
     return 0

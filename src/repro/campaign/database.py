@@ -18,17 +18,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.tuner.database import TuningDatabase, write_text_atomic
+from repro.tuner.database import SIGNATURE_FIELDS, TuningDatabase, write_text_atomic
 
 #: Shard key: (compiler family, program name).
 ShardKey = Tuple[str, str]
-
-#: Record fields that take part in cross-run identity.  Wall-clock fields
-#: (``elapsed_seconds``, ``started_at``) are deliberately excluded: two runs
-#: of the same campaign evaluate identical candidates but never at identical
-#: speeds.
-SIGNATURE_FIELDS = ("iteration", "flags", "fitness", "code_size", "fingerprint",
-                    "generation", "valid")
 
 
 def _shard_filename(key: ShardKey) -> str:
@@ -126,13 +119,7 @@ class CampaignDatabase:
 
     def record_signatures(self) -> Dict[ShardKey, List[Tuple]]:
         """Per-shard record tuples over :data:`SIGNATURE_FIELDS`, in order."""
-        return {
-            key: [
-                tuple(getattr(record, name) for name in SIGNATURE_FIELDS)
-                for record in self.shards[key].records
-            ]
-            for key in self.shard_keys()
-        }
+        return {key: self.shards[key].record_signatures() for key in self.shard_keys()}
 
     def fingerprint(self) -> str:
         """SHA-256 over every shard's ordered record signatures.

@@ -28,6 +28,7 @@ reproducibility guarantee carries over unchanged to every mode.
 
 from __future__ import annotations
 
+import functools
 import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,8 @@ from repro.tuner.evaluation import (
     CandidateResult,
     FlagKey,
     SerialMapper,
+    evaluate_keys,
+    map_pipelined,
     next_evaluator_id,
 )
 
@@ -50,15 +53,28 @@ _POOL_EVALUATORS: Dict[int, CandidateEvaluator] = {}
 _POOL_CACHE_LIMIT = EVALUATOR_CACHE_LIMIT
 
 
-def _pool_call(task) -> CandidateResult:
-    evaluator_id, blob, key = task
+def _pool_evaluator(evaluator_id: int, blob: bytes) -> CandidateEvaluator:
     evaluator = _POOL_EVALUATORS.get(evaluator_id)
     if evaluator is None:
         evaluator = pickle.loads(blob)
         while len(_POOL_EVALUATORS) >= _POOL_CACHE_LIMIT:
             _POOL_EVALUATORS.pop(next(iter(_POOL_EVALUATORS)))
         _POOL_EVALUATORS[evaluator_id] = evaluator
-    return evaluator(key)
+    return evaluator
+
+
+def _pool_call(task) -> CandidateResult:
+    evaluator_id, blob, key = task
+    return _pool_evaluator(evaluator_id, blob)(key)
+
+
+def _pool_call_batch(evaluator_id: int, blob: bytes,
+                     keys: Sequence[FlagKey]) -> List[CandidateResult]:
+    """One task = one contiguous key chunk: a staged evaluator overlaps its
+    compile lane with emulation across the chunk inside the worker process.
+    Dispatched as ``functools.partial(_pool_call_batch, id, blob)`` so the
+    chunk is the :func:`~repro.tuner.evaluation.map_pipelined` call shape."""
+    return evaluate_keys(_pool_evaluator(evaluator_id, blob), list(keys))
 
 
 class PooledMapper:
@@ -73,6 +89,9 @@ class PooledMapper:
                  evaluator: CandidateEvaluator) -> None:
         self._pool = pool
         self.evaluator_id = evaluator_id
+        #: Pipeline-aware evaluators get per-worker chunks (in-worker compile
+        #: overlap); monolithic ones keep key-granular dynamic balancing.
+        self._pipelined = getattr(evaluator, "evaluate_batch", None) is not None
         # Pickled once per program; tasks ship the same bytes object, and
         # workers deserialize it at most once each.
         self._blob = pickle.dumps(evaluator)
@@ -85,8 +104,15 @@ class PooledMapper:
         if not keys:
             return []
         executor = self._pool._ensure_executor()
-        tasks = [(self.evaluator_id, self._blob, key) for key in keys]
-        return list(executor.map(_pool_call, tasks))
+        if not self._pipelined:
+            tasks = [(self.evaluator_id, self._blob, key) for key in keys]
+            return list(executor.map(_pool_call, tasks))
+        return map_pipelined(
+            executor,
+            functools.partial(_pool_call_batch, self.evaluator_id, self._blob),
+            keys,
+            self._pool.workers,
+        )
 
     def close(self) -> None:
         pass
@@ -109,7 +135,15 @@ class PooledThreadMapper:
     def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
         if not keys:
             return []
-        return list(self._pool._ensure_executor().map(self._evaluator, keys))
+        executor = self._pool._ensure_executor()
+        if getattr(self._evaluator, "evaluate_batch", None) is not None:
+            return map_pipelined(
+                executor,
+                functools.partial(evaluate_keys, self._evaluator),
+                keys,
+                self._pool.workers,
+            )
+        return list(executor.map(self._evaluator, keys))
 
     def close(self) -> None:
         pass

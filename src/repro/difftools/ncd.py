@@ -18,7 +18,7 @@ import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.backend.binary import BinaryImage
 
@@ -133,6 +133,20 @@ class CachedNCDFitness:
         self._materialize()
 
     def __call__(self, candidate: BinaryImage) -> float:
+        return self.score_artifact(candidate)
+
+    def score_artifact(
+        self, candidate: BinaryImage, compressed_size: Optional[int] = None
+    ) -> float:
+        """Score ``candidate``, reusing a precomputed ``C(candidate .text)``.
+
+        The staged pipeline's compile stage computes the candidate's own
+        compressed size on its lane (and caches it with the image artifact),
+        so scoring only pays the *joint* compression here.  Passing ``None``
+        is the plain :meth:`__call__` path.  Values are bit-identical either
+        way — the precomputed size is exactly what :meth:`_score` would have
+        recomputed.
+        """
         text = candidate.text
         key = hashlib.sha256(text).hexdigest()
         with self._cache_lock:
@@ -142,18 +156,18 @@ class CachedNCDFitness:
                 self.hits += 1
                 return cached
             self.misses += 1
-        value = self._score(text)
+        value = self._score(text, compressed_size)
         with self._cache_lock:
             self._cache[key] = value
             while len(self._cache) > self.max_entries:
                 self._cache.popitem(last=False)
         return value
 
-    def _score(self, text: bytes) -> float:
+    def _score(self, text: bytes, compressed_size: Optional[int] = None) -> float:
         # Same contract as ncd(), with C(baseline) precomputed.
         if not self._baseline_text and not text:
             return 0.0
-        c_y = len(self._compress(text))
+        c_y = len(self._compress(text)) if compressed_size is None else compressed_size
         c_xy = len(self._compress(self._baseline_text + text))
         return _ncd_from_sizes(self._baseline_size, c_y, c_xy)
 

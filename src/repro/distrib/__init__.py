@@ -43,6 +43,10 @@ def __getattr__(name: str):
         from repro.distrib.worker import serve
 
         return serve
+    if name == "run_worker":
+        from repro.distrib.worker import run_worker
+
+        return run_worker
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -56,5 +60,6 @@ __all__ = [
     "WorkerLost",
     "format_address",
     "parse_address",
+    "run_worker",
     "serve",
 ]

@@ -32,6 +32,7 @@ from repro.distrib.protocol import (
     BatchResult,
     EvalBatch,
     EvaluatorMissing,
+    Heartbeat,
     Hello,
     Shutdown,
     Welcome,
@@ -225,6 +226,12 @@ class Coordinator:
                 )
                 while True:
                     reply = recv_message(handle.sock)
+                    if isinstance(reply, Heartbeat):
+                        # The worker is mid-evaluation and provably alive;
+                        # each frame restarts the socket's silence budget, so
+                        # a batch may legitimately outlive the nominal
+                        # per-task timeout as long as heartbeats keep coming.
+                        continue
                     if isinstance(reply, EvaluatorMissing) and reply.evaluator_id == evaluator_id:
                         # The worker's bounded cache evicted this evaluator
                         # since we last shipped it; re-send with the blob.

@@ -101,12 +101,27 @@ class EvaluatorMissing:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """Worker → coordinator, while a batch is evaluating: still alive.
+
+    Each frame arrives inside the coordinator's per-recv timeout window and
+    resets it, so a batch that legitimately outlives the nominal per-task
+    budget (a pathological candidate, a slow machine) no longer reads as a
+    dead worker — the worker only fails when it stops *sending*, not when it
+    stops *finishing*.
+    """
+
+    worker_id: int = 0
+
+
+@dataclass(frozen=True)
 class Shutdown:
     """Coordinator → worker: drain and exit cleanly."""
 
 
 MESSAGE_TYPES = (
-    Hello, Welcome, EvalBatch, BatchResult, BatchFailure, EvaluatorMissing, Shutdown,
+    Hello, Welcome, EvalBatch, BatchResult, BatchFailure, EvaluatorMissing,
+    Heartbeat, Shutdown,
 )
 
 

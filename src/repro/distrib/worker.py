@@ -4,7 +4,7 @@ A worker is one process (on this machine or another) that connects to a
 coordinator, advertises its capacity, and serves evaluation batches until
 told to shut down::
 
-    python -m repro.distrib.worker --connect HOST:PORT [--slots N]
+    python -m repro.distrib.worker --connect HOST:PORT [--slots N] [--reconnect]
 
 Evaluators arrive as pickle-once blobs keyed by the same monotonic evaluator
 ids the in-process :class:`~repro.campaign.pool.SharedWorkerPool` uses; each
@@ -14,10 +14,25 @@ programs cannot pile baselines up in worker memory.  Evicted evaluators are
 recovered via the :class:`~repro.distrib.protocol.EvaluatorMissing` reply —
 the coordinator re-sends the blob.
 
+Batches are evaluated pipeline-aware: a staged evaluator
+(:class:`~repro.tuner.pipeline.StagedCandidateEvaluator`) receives its
+tasks as contiguous per-slot chunks and overlaps each chunk's compiles with
+its emulation/scoring on a second lane; a monolithic evaluator is mapped
+task by task, exactly as before.  While a batch is evaluating, the worker
+sends :class:`~repro.distrib.protocol.Heartbeat` frames so a long batch is
+distinguishable from a dead machine (historically a busy worker could only
+fail at batch boundaries or the coordinator's timeout).
+
+``--reconnect`` keeps the worker alive across coordinator outages and its
+own restarts: a refused connection or a dropped coordinator triggers an
+exponentially backed-off retry (a clean :class:`~repro.distrib.protocol.
+Shutdown` still exits), so a rebooted machine rejoins a running campaign
+without operator action.
+
 An evaluator exception is reported back as a :class:`~repro.distrib.
 protocol.BatchFailure` (programming errors must propagate to the campaign,
 exactly as they do in-process); a transport failure toward the coordinator
-ends the worker.  ``--max-batches N`` is the failure-injection knob behind
+ends the session.  ``--max-batches N`` is the failure-injection knob behind
 the worker-loss determinism tests: the worker serves N batches, then dies
 *without replying* on the next one, like a machine crash mid-generation.
 """
@@ -25,11 +40,14 @@ the worker-loss determinism tests: the worker serves N batches, then dies
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import pickle
 import socket
 import sys
-from typing import Callable, Dict, Optional, Sequence
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.distrib.errors import AuthenticationError, ConnectionClosed, ProtocolError
 from repro.distrib.protocol import (
@@ -37,6 +55,7 @@ from repro.distrib.protocol import (
     BatchResult,
     EvalBatch,
     EvaluatorMissing,
+    Heartbeat,
     Hello,
     Shutdown,
     Welcome,
@@ -46,10 +65,21 @@ from repro.distrib.protocol import (
     recv_message,
     send_message,
 )
-from repro.tuner.evaluation import EVALUATOR_CACHE_LIMIT
+from repro.tuner.evaluation import EVALUATOR_CACHE_LIMIT, evaluate_keys, map_pipelined
 
 #: Exit status of a ``--max-batches`` induced crash (distinct from clean 0).
 CRASH_EXIT_STATUS = 17
+
+#: Exit status of a session that ended because the *coordinator* went away
+#: (distinct from a clean Shutdown): the reconnect loop retries on this.
+CONNECTION_LOST_STATUS = 4
+
+#: Exit status of a failed handshake (wrong/missing authkey, version skew).
+#: Deterministic — never retried.
+HANDSHAKE_FAILED_STATUS = 3
+
+#: Default seconds between Heartbeat frames while a batch evaluates.
+DEFAULT_HEARTBEAT_INTERVAL = 15.0
 
 
 def _exception_survives_pickle(exc: BaseException) -> bool:
@@ -60,6 +90,77 @@ def _exception_survives_pickle(exc: BaseException) -> bool:
         return False
 
 
+def _evaluate_tasks(evaluator, tasks, slots: int, executor) -> Tuple[Tuple[int, object], ...]:
+    """Evaluate one batch's ``(index, key)`` tasks, pipeline-aware.
+
+    A staged evaluator gets contiguous per-slot chunks so each slot overlaps
+    its compiles with emulation on its own second lane; a plain evaluator is
+    mapped key by key across the slot threads, the historical behaviour.
+    Results carry their submission indices, so scheduling never reorders
+    anything.
+    """
+    keys = [key for _index, key in tasks]
+    pipelined = getattr(evaluator, "evaluate_batch", None) is not None
+    if slots > 1 and len(keys) > 1:
+        if pipelined:
+            values = map_pipelined(
+                executor, functools.partial(evaluate_keys, evaluator), keys, slots
+            )
+        else:
+            values = list(executor.map(evaluator, keys))
+    else:
+        values = evaluate_keys(evaluator, keys)
+    return tuple(
+        (index, value) for (index, _key), value in zip(tasks, values)
+    )
+
+
+class _HeartbeatSender:
+    """Sends :class:`Heartbeat` frames while a batch evaluates.
+
+    Socket writes are serialized with the main loop's replies through
+    ``send`` (two threads interleaving ``sendall`` would corrupt framing);
+    send failures just stop the beat — the main loop will observe the dead
+    socket itself on its next reply.
+    """
+
+    def __init__(self, sock: socket.socket, worker_id: int, interval: float) -> None:
+        self._sock = sock
+        self._worker_id = worker_id
+        self.interval = interval
+        self._lock = threading.Lock()
+        self._stop: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def send(self, message) -> None:
+        with self._lock:
+            send_message(self._sock, message)
+
+    def __enter__(self) -> "_HeartbeatSender":
+        if self.interval > 0:
+            self._stop = threading.Event()
+            self._thread = threading.Thread(
+                target=self._beat, name="worker-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._stop is not None:
+            self._stop.set()
+            self._thread.join(timeout=1.0)
+            self._stop = None
+            self._thread = None
+
+    def _beat(self) -> None:
+        stop = self._stop
+        while not stop.wait(self.interval):
+            try:
+                self.send(Heartbeat(self._worker_id))
+            except Exception:
+                return
+
+
 def serve(
     connect: str,
     slots: int = 1,
@@ -68,8 +169,10 @@ def serve(
     hard_exit: bool = False,
     log: Optional[Callable[[str], None]] = None,
     authkey=None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    on_registered: Optional[Callable[[int], None]] = None,
 ) -> int:
-    """Run one worker until shutdown; returns a process exit status.
+    """Run one worker session until shutdown; returns a process exit status.
 
     ``slots > 1`` evaluates each batch on that many threads (the coordinator
     also weights batch partitioning by slots, so the capacity claim must be
@@ -79,6 +182,13 @@ def serve(
     Tests that run workers as threads pass ``False`` so the crash degrades
     to closing the socket and returning, which the coordinator observes
     identically (EOF mid-batch).
+
+    Returns 0 after a clean :class:`Shutdown`,
+    :data:`CONNECTION_LOST_STATUS` when the coordinator went away (the
+    :func:`run_worker` reconnect loop retries on exactly this), and
+    :data:`HANDSHAKE_FAILED_STATUS` on a failed handshake.
+    ``on_registered`` fires with the assigned worker id right after the
+    handshake — the reconnect loop uses it to reset its backoff.
     """
     if slots < 1:
         raise ValueError(f"slots must be >= 1, got {slots}")
@@ -97,13 +207,23 @@ def serve(
             welcome = recv_message(sock)
             if not isinstance(welcome, Welcome):
                 raise ProtocolError(f"expected Welcome, got {type(welcome).__name__}")
-        except (AuthenticationError, ProtocolError, ConnectionClosed) as exc:
+        except ConnectionClosed as exc:
+            # The peer vanished mid-handshake — a coordinator dying between
+            # accept and Welcome, or a handshake squeezed out by an accept
+            # storm.  That is a *transient* loss (the reconnect loop must
+            # retry it), not a deterministic handshake rejection.
+            emit(f"worker: {connect} went away during the handshake: {exc}")
+            return CONNECTION_LOST_STATUS
+        except (AuthenticationError, ProtocolError) as exc:
             # Key mismatch presents as either an explicit rejection or the
             # coordinator's challenge frame failing to unpickle; both mean
             # "wrong or missing authkey", not a crash.
             emit(f"worker: handshake with {connect} failed: {exc}")
-            return 3
+            return HANDSHAKE_FAILED_STATUS
         emit(f"worker {welcome.worker_id}: connected to {connect} with {slots} slot(s)")
+        if on_registered is not None:
+            on_registered(welcome.worker_id)
+        sender = _HeartbeatSender(sock, welcome.worker_id, heartbeat_interval)
         #: evaluator id -> deserialized evaluator, FIFO-bounded like
         #: the shared pool's per-process cache.
         evaluators: Dict[int, object] = {}
@@ -112,8 +232,8 @@ def serve(
             try:
                 message = recv_message(sock)
             except ConnectionClosed:
-                emit(f"worker {welcome.worker_id}: coordinator went away, exiting")
-                return 0
+                emit(f"worker {welcome.worker_id}: coordinator went away")
+                return CONNECTION_LOST_STATUS
             if isinstance(message, Shutdown):
                 emit(f"worker {welcome.worker_id}: shutdown after {batches_done} batch(es)")
                 return 0
@@ -135,35 +255,25 @@ def serve(
                 while len(evaluators) >= cache_limit:
                     evaluators.pop(next(iter(evaluators)))
                 evaluators[message.evaluator_id] = evaluator
-            try:
-                if slots > 1:
-                    if executor is None:
-                        from concurrent.futures import ThreadPoolExecutor
+            if slots > 1 and executor is None:
+                from concurrent.futures import ThreadPoolExecutor
 
-                        executor = ThreadPoolExecutor(
-                            max_workers=slots, thread_name_prefix="worker-slot"
-                        )
-                    keys = [key for _index, key in message.tasks]
-                    values = list(executor.map(evaluator, keys))
-                    results = tuple(
-                        (index, value)
-                        for (index, _key), value in zip(message.tasks, values)
-                    )
-                else:
-                    results = tuple(
-                        (index, evaluator(key)) for index, key in message.tasks
-                    )
+                executor = ThreadPoolExecutor(
+                    max_workers=slots, thread_name_prefix="worker-slot"
+                )
+            try:
+                with sender:  # heartbeats flow for the duration of the batch
+                    results = _evaluate_tasks(evaluator, message.tasks, slots, executor)
             except Exception as exc:
-                send_message(
-                    sock,
+                sender.send(
                     BatchFailure(
                         message.evaluator_id,
                         f"{type(exc).__name__}: {exc}",
                         exc if _exception_survives_pickle(exc) else None,
-                    ),
+                    )
                 )
                 continue  # the error was deterministic; keep serving
-            send_message(sock, BatchResult(message.evaluator_id, results))
+            sender.send(BatchResult(message.evaluator_id, results))
             batches_done += 1
     finally:
         if executor is not None:
@@ -172,6 +282,67 @@ def serve(
             sock.close()
         except OSError:
             pass
+
+
+def run_worker(
+    connect: str,
+    reconnect: bool = False,
+    max_retries: Optional[int] = None,
+    backoff_base: float = 1.0,
+    backoff_cap: float = 60.0,
+    log: Optional[Callable[[str], None]] = None,
+    **serve_kwargs,
+) -> int:
+    """:func:`serve`, wrapped in the auto-reconnect policy.
+
+    With ``reconnect=False`` (the historical default) this is one session:
+    a refused connection raises, a lost coordinator returns.  With
+    ``reconnect=True`` the worker survives both — it retries with
+    exponential backoff (``backoff_base`` doubling up to ``backoff_cap``
+    seconds, at most ``max_retries`` consecutive failures, unbounded when
+    ``None``) so a restarted machine rejoins a running campaign without
+    operator action.  Any ``OSError`` reaching the coordinator counts as
+    transient and retries — on a machine that is itself booting, refused
+    connections, unreachable networks and *unresolvable hostnames* are all
+    states that heal on their own, so only ``--max-retries`` bounds them.
+    A successful registration resets the backoff; a clean
+    :class:`Shutdown`, an injected crash, and a failed handshake (a
+    deterministic authkey/version problem) never retry.
+    """
+    if backoff_base <= 0:
+        raise ValueError(f"backoff_base must be > 0, got {backoff_base}")
+    emit = log if log is not None else (lambda message: None)
+    registered = threading.Event()
+
+    def on_registered(_worker_id: int) -> None:
+        registered.set()
+
+    delay = backoff_base
+    failures = 0
+    while True:
+        registered.clear()
+        try:
+            status = serve(connect, log=log, on_registered=on_registered, **serve_kwargs)
+        except (ConnectionRefusedError, OSError) as exc:
+            if not reconnect:
+                raise
+            emit(f"worker: cannot reach {connect}: {exc}")
+            status = CONNECTION_LOST_STATUS
+        if status != CONNECTION_LOST_STATUS or not reconnect:
+            return status
+        if registered.is_set():
+            # The session was live before it dropped; start backing off from
+            # scratch rather than where the last outage left off.
+            delay = backoff_base
+            failures = 0
+        failures += 1
+        if max_retries is not None and failures > max_retries:
+            emit(f"worker: giving up on {connect} after {max_retries} retries")
+            return status
+        emit(f"worker: reconnecting to {connect} in {delay:.1f}s "
+             f"(attempt {failures})")
+        time.sleep(delay)
+        delay = min(delay * 2, backoff_cap)
 
 
 # ---------------------------------------------------------------------------
@@ -194,6 +365,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batches", type=int, default=None,
                         help="failure injection: serve N batches, then crash "
                              "without replying (worker-loss tests/demos)")
+    parser.add_argument("--reconnect", action="store_true",
+                        help="retry with exponential backoff when the "
+                             "coordinator is unreachable or goes away, so a "
+                             "restarted machine rejoins a running campaign "
+                             "(a clean Shutdown still exits)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="with --reconnect: give up after N consecutive "
+                             "failed attempts (default: retry forever)")
+    parser.add_argument("--backoff", type=float, default=1.0, metavar="SECONDS",
+                        help="with --reconnect: initial retry delay, doubled "
+                             "per consecutive failure up to 60s (default: 1.0)")
+    parser.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT_INTERVAL,
+                        metavar="SECONDS",
+                        help="interval between keep-alive frames while a batch "
+                             f"is evaluating; 0 disables (default: "
+                             f"{DEFAULT_HEARTBEAT_INTERVAL:g})")
     parser.add_argument("--authkey", default=os.environ.get("REPRO_DISTRIB_AUTHKEY"),
                         help="shared secret for the coordinator handshake "
                              "(default: $REPRO_DISTRIB_AUTHKEY; required when "
@@ -207,14 +394,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
     try:
-        return serve(
+        return run_worker(
             args.connect,
+            reconnect=args.reconnect,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff,
             slots=args.slots,
             cache_limit=args.cache_limit,
             max_batches=args.max_batches,
             hard_exit=True,
             log=log,
             authkey=args.authkey,
+            heartbeat_interval=args.heartbeat,
         )
     except ConnectionRefusedError:
         print(f"no coordinator listening at {args.connect}", file=sys.stderr)

@@ -37,7 +37,11 @@ from repro.experiments.scores import (
 from repro.experiments.potency import run_fig7_flag_potency
 from repro.experiments.tools import run_fig8_tool_precision
 from repro.experiments.malware_eval import run_table2_malware_detection
-from repro.experiments.speedup import run_parallel_evaluation_speedup, run_table3_speedup
+from repro.experiments.speedup import (
+    run_parallel_evaluation_speedup,
+    run_pipeline_comparison,
+    run_table3_speedup,
+)
 
 __all__ = [
     "run_fig1_mirai_study",
@@ -54,4 +58,5 @@ __all__ = [
     "run_table2_malware_detection",
     "run_table3_speedup",
     "run_parallel_evaluation_speedup",
+    "run_pipeline_comparison",
 ]

@@ -11,8 +11,9 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.cost_model import CostModel
+from repro.campaign import Campaign, CampaignConfig, ProgramJob
 from repro.experiments.scores import make_compiler, tune_benchmark, tune_suite
-from repro.tuner import BinTunerConfig
+from repro.tuner import ArtifactCache, BinTunerConfig
 from repro.workloads import benchmark
 
 
@@ -97,4 +98,62 @@ def run_parallel_evaluation_speedup(
         "cache_hits": stats.cache_hits if stats else 0,
         "cache_hit_ratio": stats.hit_ratio if stats else 0.0,
         "worker_seconds": stats.worker_seconds if stats else 0.0,
+    }
+
+
+def run_pipeline_comparison(
+    family: str = "llvm",
+    benchmarks: Sequence[str] = ("462.libquantum", "429.mcf"),
+    config: Optional[BinTunerConfig] = None,
+) -> Dict[str, object]:
+    """Staged vs monolithic pipeline on a small warm-startable campaign.
+
+    Three runs of the same seeded campaign: monolithic (the legacy opaque
+    closure), staged cold (stage-split evaluation populating one shared
+    :class:`ArtifactCache`), and staged *warm* — the same campaign rerun
+    against the populated cache, the shape of a re-scoring or warm-started
+    rerun.  Reports wall clocks, the staged run's per-stage time split,
+    artifact-cache hit ratios, and the determinism verdict: all three
+    database fingerprints must be identical.
+    """
+    base = config or BinTunerConfig(max_iterations=40, stall_window=24)
+    jobs = [ProgramJob(family, name) for name in benchmarks]
+
+    def run(pipeline: str, cache: Optional[ArtifactCache] = None):
+        campaign = Campaign(
+            jobs,
+            CampaignConfig(tuner=base, pipeline=pipeline, warm_start=True),
+            artifact_cache=cache,
+        )
+        started = time.perf_counter()
+        result = campaign.run()
+        return result, time.perf_counter() - started
+
+    monolithic, monolithic_seconds = run("monolithic")
+    cache = ArtifactCache(8192)
+    cold, cold_seconds = run("staged", cache)
+    warm, warm_seconds = run("staged", cache)
+
+    cold_stats = cold.evaluation_stats()
+    warm_stats = warm.evaluation_stats()
+    return {
+        "compiler": family,
+        "benchmarks": list(benchmarks),
+        "monolithic_seconds": monolithic_seconds,
+        "staged_seconds": cold_seconds,
+        "warm_rerun_seconds": warm_seconds,
+        "warm_rerun_speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+        "identical_fingerprints": (
+            monolithic.fingerprint() == cold.fingerprint() == warm.fingerprint()
+        ),
+        "stage_seconds": {
+            "compile": cold_stats.compile_seconds,
+            "measure": cold_stats.measure_seconds,
+            "score": cold_stats.score_seconds,
+        },
+        "evaluated": cold_stats.evaluated,
+        "cold_artifact_hit_ratio": cold_stats.artifact_hit_ratio,
+        "warm_artifact_hits": warm_stats.artifact_hits,
+        "warm_artifact_hit_ratio": warm_stats.artifact_hit_ratio,
+        "artifact_cache": cache.stats(),
     }

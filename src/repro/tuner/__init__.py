@@ -11,6 +11,10 @@ This is the paper's primary contribution (§4).  The package provides:
 * :mod:`repro.tuner.evaluation` — the generation-batched evaluation engine
   (batch dedup against the database, serial or process-pool dispatch,
   submission-order recording for reproducibility);
+* :mod:`repro.tuner.pipeline` — the staged evaluation pipeline: compile,
+  measure and score as first-class stages over a content-addressed
+  :class:`~repro.tuner.pipeline.ArtifactCache`, with the compile lane
+  overlapping emulation inside each worker;
 * :mod:`repro.tuner.tuner` — the :class:`BinTuner` orchestrator (compiler
   interface + fitness function + termination criteria) and the build-spec
   ("makefile analyzer") front door;
@@ -38,6 +42,16 @@ from repro.tuner.evaluation import (
     TunerCandidateEvaluator,
     make_mapper,
     next_evaluator_id,
+)
+from repro.tuner.pipeline import (
+    ArtifactCache,
+    CompiledArtifact,
+    CompileStage,
+    MeasureStage,
+    ScoreStage,
+    StagedCandidateEvaluator,
+    TraceArtifact,
+    shared_artifact_cache,
 )
 from repro.tuner.tuner import (
     BinTuner,
@@ -68,6 +82,14 @@ __all__ = [
     "TunerCandidateEvaluator",
     "make_mapper",
     "next_evaluator_id",
+    "ArtifactCache",
+    "CompiledArtifact",
+    "CompileStage",
+    "MeasureStage",
+    "ScoreStage",
+    "StagedCandidateEvaluator",
+    "TraceArtifact",
+    "shared_artifact_cache",
     "BinTuner",
     "BinTunerConfig",
     "TuningResult",

@@ -9,12 +9,21 @@ persistence reproduces that role.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Record fields that take part in cross-run identity.  Wall-clock fields
+#: (``elapsed_seconds``, ``started_at``) are deliberately excluded: two runs
+#: of the same search evaluate identical candidates but never at identical
+#: speeds.  Shared by :meth:`TuningDatabase.fingerprint` and the campaign
+#: database's cross-shard fingerprint.
+SIGNATURE_FIELDS = ("iteration", "flags", "fitness", "code_size", "fingerprint",
+                    "generation", "valid")
 
 
 def write_text_atomic(path: Path, text: str) -> None:
@@ -98,6 +107,25 @@ class TuningDatabase:
 
     def elapsed_hours(self) -> float:
         return sum(record.elapsed_seconds for record in self.records) / 3600.0
+
+    # -- identity ----------------------------------------------------------------------
+
+    def record_signatures(self) -> List[Tuple]:
+        """Record tuples over :data:`SIGNATURE_FIELDS`, in insertion order."""
+        return [
+            tuple(getattr(record, name) for name in SIGNATURE_FIELDS)
+            for record in self.records
+        ]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the ordered record signatures.
+
+        Two runs with the same fingerprint evaluated the same candidates in
+        the same order with the same outcomes — the staged/monolithic and
+        serial/parallel equivalence contract (timing fields excluded).
+        """
+        payload = json.dumps(self.record_signatures(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def growth_rate(self, window: int = 20) -> float:
         """Relative growth of best-so-far fitness over the last ``window`` records."""

@@ -26,6 +26,7 @@ cached NCD fitness, lazily built) never crosses the pipe.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import pickle
 import time
@@ -47,13 +48,25 @@ FlagKey = Tuple[str, ...]
 
 @dataclass(frozen=True)
 class CandidateResult:
-    """Everything one evaluation produces (mirrors an :class:`IterationRecord`)."""
+    """Everything one evaluation produces (mirrors an :class:`IterationRecord`).
+
+    The staged pipeline (:mod:`repro.tuner.pipeline`) additionally reports
+    per-stage wall clock and artifact-cache provenance; the fields default to
+    zero on the monolithic path.  They travel with the result through every
+    mapper — process pools and remote workers included — so the engine's
+    :class:`EvaluationStats` can account for caches it cannot see."""
 
     fitness: float
     code_size: int
     fingerprint: str
     valid: bool
     elapsed_seconds: float
+    compile_seconds: float = 0.0
+    measure_seconds: float = 0.0
+    score_seconds: float = 0.0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    staged: bool = False
 
 
 #: A candidate evaluator: canonical flag key -> result.  Must be picklable to
@@ -100,6 +113,59 @@ class MapperTransportError(RuntimeError):
 # Worker mappers
 # ---------------------------------------------------------------------------
 
+def split_into_chunks(items: Sequence, chunks: int) -> List[List]:
+    """Deterministic contiguous split into at most ``chunks`` non-empty slices.
+
+    The partition depends only on ``len(items)`` and ``chunks`` — never on
+    timing — so chunk-granular dispatch preserves the engine's
+    reproducibility contract for any worker count.
+    """
+    items = list(items)
+    count = min(len(items), max(1, chunks))
+    if not items:
+        return []
+    base, extra = divmod(len(items), count)
+    out: List[List] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+def evaluate_keys(evaluator: CandidateEvaluator, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+    """Run ``keys`` through ``evaluator``, batch-first when it supports it.
+
+    A pipeline-aware evaluator (``evaluate_batch``) overlaps its compile lane
+    with emulation/scoring across the batch; a plain evaluator is mapped
+    key by key.  Both return results in submission order.
+    """
+    batch = getattr(evaluator, "evaluate_batch", None)
+    if batch is not None:
+        return list(batch(keys))
+    return [evaluator(key) for key in keys]
+
+
+def map_pipelined(executor, evaluate_chunk, keys: Sequence[FlagKey],
+                  workers: int) -> List[CandidateResult]:
+    """Dispatch contiguous per-worker chunks and flatten results in order.
+
+    The single policy point for pipelined dispatch: every executor-backed
+    mapper (thread, process, shared campaign pool, distributed worker slots)
+    funnels batch-aware evaluators through here, so a chunking change —
+    e.g. deeper compile-lane lookahead — lands in all of them at once.
+    ``evaluate_chunk(chunk) -> List[CandidateResult]`` must be picklable for
+    process executors (a module-level function or a ``functools.partial``
+    over one).
+    """
+    futures = [
+        executor.submit(evaluate_chunk, chunk)
+        for chunk in split_into_chunks(list(keys), workers)
+    ]
+    return [result for future in futures for result in future.result()]
+
+
 class SerialMapper:
     """Deterministic in-process mapper (the default and the fallback)."""
 
@@ -111,7 +177,7 @@ class SerialMapper:
         self._evaluator = evaluator
 
     def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
-        return [self._evaluator(key) for key in keys]
+        return evaluate_keys(self._evaluator, list(keys))
 
     def close(self) -> None:
         pass
@@ -132,19 +198,31 @@ def _call_worker_evaluator(key: FlagKey) -> CandidateResult:
     return _WORKER_EVALUATOR(key)
 
 
+def _call_worker_evaluator_batch(keys: Sequence[FlagKey]) -> List[CandidateResult]:
+    """One worker task = one contiguous key chunk, pipelined inside the worker."""
+    assert _WORKER_EVALUATOR is not None, "worker pool initializer did not run"
+    return evaluate_keys(_WORKER_EVALUATOR, keys)
+
+
 class ProcessPoolMapper:
     """Dispatches candidate evaluations to a ``ProcessPoolExecutor``.
 
-    ``map`` preserves submission order, so the engine's determinism guarantee
-    holds for any worker count.  Exceptions raised inside a worker (anything
-    the evaluator does not classify as an invalid candidate) propagate to the
-    caller, exactly like the serial mapper.
+    A pipeline-aware evaluator gets its keys as contiguous chunks (one task
+    per worker per generation) so it can overlap its compile lane with
+    emulation *inside* each worker; a monolithic evaluator keeps the
+    key-granular ``Executor.map`` so expensive candidates are dynamically
+    balanced across workers.  Either way results come back in submission
+    order, so the engine's determinism guarantee holds for any worker count.
+    Exceptions raised inside a worker (anything the evaluator does not
+    classify as an invalid candidate) propagate to the caller, exactly like
+    the serial mapper.
     """
 
     def __init__(self, evaluator: CandidateEvaluator, workers: int = 2) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._evaluator = evaluator
+        self._pipelined = getattr(evaluator, "evaluate_batch", None) is not None
         self.workers = workers
         self.evaluator_id = next_evaluator_id()
         self._pool = None
@@ -163,7 +241,11 @@ class ProcessPoolMapper:
     def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
         if not keys:
             return []
-        return list(self._ensure_pool().map(_call_worker_evaluator, keys))
+        if not self._pipelined:
+            return list(self._ensure_pool().map(_call_worker_evaluator, keys))
+        return map_pipelined(
+            self._ensure_pool(), _call_worker_evaluator_batch, keys, self.workers
+        )
 
     def close(self) -> None:
         if self._pool is not None:
@@ -203,6 +285,15 @@ class ThreadPoolMapper:
     def map(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
         if not keys:
             return []
+        if getattr(self._evaluator, "evaluate_batch", None) is not None:
+            # Pipeline-aware evaluator: one contiguous chunk per thread, so
+            # each lane overlaps compiles with emulation across its chunk.
+            return map_pipelined(
+                self._ensure_pool(),
+                functools.partial(evaluate_keys, self._evaluator),
+                keys,
+                self.workers,
+            )
         return list(self._ensure_pool().map(self._evaluator, keys))
 
     def close(self) -> None:
@@ -345,7 +436,14 @@ class TunerCandidateEvaluator:
 
 @dataclass
 class EvaluationStats:
-    """Dedup/caching counters of one engine (reported by the speedup bench)."""
+    """Dedup/caching counters of one engine (reported by the speedup bench).
+
+    The ``compile_seconds`` / ``measure_seconds`` / ``score_seconds`` and
+    ``artifact_*`` fields are filled by staged-pipeline results only; they
+    aggregate the per-candidate stage reports, which is what makes them
+    correct even when the artifact caches live in worker processes or on
+    remote machines the engine never sees.
+    """
 
     requested: int = 0
     evaluated: int = 0
@@ -354,6 +452,11 @@ class EvaluationStats:
     batches: int = 0
     invalid: int = 0
     worker_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    measure_seconds: float = 0.0
+    score_seconds: float = 0.0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
 
     def since(self, baseline: "EvaluationStats") -> "EvaluationStats":
         """Counters accrued after ``baseline`` was snapshot (per-run stats)."""
@@ -365,6 +468,28 @@ class EvaluationStats:
             batches=self.batches - baseline.batches,
             invalid=self.invalid - baseline.invalid,
             worker_seconds=self.worker_seconds - baseline.worker_seconds,
+            compile_seconds=self.compile_seconds - baseline.compile_seconds,
+            measure_seconds=self.measure_seconds - baseline.measure_seconds,
+            score_seconds=self.score_seconds - baseline.score_seconds,
+            artifact_hits=self.artifact_hits - baseline.artifact_hits,
+            artifact_misses=self.artifact_misses - baseline.artifact_misses,
+        )
+
+    def add(self, other: "EvaluationStats") -> "EvaluationStats":
+        """Field-wise sum (campaign summaries aggregate per-program stats)."""
+        return EvaluationStats(
+            requested=self.requested + other.requested,
+            evaluated=self.evaluated + other.evaluated,
+            database_hits=self.database_hits + other.database_hits,
+            intra_batch_hits=self.intra_batch_hits + other.intra_batch_hits,
+            batches=self.batches + other.batches,
+            invalid=self.invalid + other.invalid,
+            worker_seconds=self.worker_seconds + other.worker_seconds,
+            compile_seconds=self.compile_seconds + other.compile_seconds,
+            measure_seconds=self.measure_seconds + other.measure_seconds,
+            score_seconds=self.score_seconds + other.score_seconds,
+            artifact_hits=self.artifact_hits + other.artifact_hits,
+            artifact_misses=self.artifact_misses + other.artifact_misses,
         )
 
     @property
@@ -375,6 +500,26 @@ class EvaluationStats:
     def hit_ratio(self) -> float:
         return self.cache_hits / self.requested if self.requested else 0.0
 
+    @property
+    def artifact_hit_ratio(self) -> float:
+        total = self.artifact_hits + self.artifact_misses
+        return self.artifact_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe counters (campaign manifests, the pipeline bench)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EvaluationStats":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored so manifests
+        written by a newer schema still load."""
+        from dataclasses import fields as dataclass_fields
+
+        known = {f.name for f in dataclass_fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
     def as_row(self) -> Dict[str, object]:
         return {
             "requested": self.requested,
@@ -383,6 +528,8 @@ class EvaluationStats:
             "intra-batch hits": self.intra_batch_hits,
             "hit ratio": round(self.hit_ratio, 3),
             "batches": self.batches,
+            "artifact hits": self.artifact_hits,
+            "artifact hit ratio": round(self.artifact_hit_ratio, 3),
         }
 
 
@@ -448,6 +595,12 @@ class EvaluationEngine:
         for key, result in zip(misses, results):
             self.stats.evaluated += 1
             self.stats.worker_seconds += result.elapsed_seconds
+            if result.staged:
+                self.stats.compile_seconds += result.compile_seconds
+                self.stats.measure_seconds += result.measure_seconds
+                self.stats.score_seconds += result.score_seconds
+                self.stats.artifact_hits += result.artifact_hits
+                self.stats.artifact_misses += result.artifact_misses
             if not result.valid:
                 self.stats.invalid += 1
             self.database.record(

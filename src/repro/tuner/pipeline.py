@@ -1,0 +1,531 @@
+"""The staged evaluation pipeline: compile → measure → score, with artifacts.
+
+The monolithic :class:`~repro.tuner.evaluation.TunerCandidateEvaluator` runs
+one opaque closure per candidate: compile, emulate for functional
+correctness, score by NCD.  Every flag vector pays all three stages even
+when only one stage's inputs changed — re-scoring a checkpointed campaign
+recompiles, ``compare_levels`` recompiles presets the search already built,
+a warm-started rerun recompiles every configuration it saw last time.
+
+This module makes the stages first-class, cacheable units:
+
+* :class:`CompileStage` — constraint check + compilation.  Artifacts are
+  content-addressed by ``(compiler family, compiler version, source digest,
+  canonical flag key)``: the same configuration of the same source under the
+  same compiler is compiled exactly once per cache.
+* :class:`MeasureStage` — emulation of the candidate on the workload
+  (functional-correctness trace plus step/cycle statistics), addressed by
+  ``(image digest, workload)``.
+* :class:`ScoreStage` — the fitness function.  For NCD it consumes the
+  compile stage's precomputed compressed ``.text`` size
+  (:meth:`~repro.difftools.ncd.CachedNCDFitness.score_artifact`), so scoring
+  a compile-cache hit never recompresses the candidate.
+* :class:`ArtifactCache` — the bounded, thread-safe LRU between stages.
+  Content addressing makes one cache safe to share across evaluators,
+  programs, and whole campaigns: a campaign injects one campaign-wide
+  cache, worker processes adopt a process-shared one
+  (:func:`shared_artifact_cache`), and a standalone evaluator defaults to
+  a private one.
+
+:class:`StagedCandidateEvaluator` composes the stages behind the exact
+``FlagKey -> CandidateResult`` contract of the monolithic evaluator —
+results are bit-for-bit identical (fitness, code size, fingerprint,
+validity; only timing fields differ) for any executor and worker count —
+and adds :meth:`~StagedCandidateEvaluator.evaluate_batch`: inside a worker,
+candidate *k+1*'s compile proceeds on a second lane while candidate *k*'s
+emulation and scoring execute, overlapping the two dominant stage costs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.emulator import EmulationError, run_program
+from repro.backend.binary import BinaryImage
+from repro.compilers.base import CompilationError
+from repro.difftools.ncd import CachedNCDFitness
+from repro.opt.flags import FlagVector
+from repro.tuner.constraints import ConstraintEngine, ConstraintViolation
+from repro.tuner.evaluation import (
+    CandidateResult,
+    FlagKey,
+    TunerCandidateEvaluator,
+)
+
+#: Default bound of an artifact cache.  Artifacts are small (a linked image
+#: plus an integer), but campaigns evaluate thousands of candidates; the
+#: bound keeps a long-lived shared cache from growing monotonically.
+DEFAULT_ARTIFACT_CACHE_SIZE = 1024
+
+#: The two pipeline modes ``BinTunerConfig.pipeline`` accepts.
+PIPELINES = ("staged", "monolithic")
+
+
+class ArtifactCache:
+    """Content-addressed bounded LRU shared between pipeline stages.
+
+    Keys are flat tuples whose first element names the artifact kind
+    (``"image"`` / ``"trace"``) and whose remaining elements are content
+    digests, so one cache is safe to share across evaluators, programs and
+    compilers: equal keys imply equal artifacts.  All operations are
+    thread-safe — the compile lane and the measure/score lane of one
+    evaluator, and every evaluator of a thread pool, share one instance.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_ARTIFACT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = Lock()
+
+    def get(self, key: Tuple) -> Optional[object]:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Tuple, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for campaign summaries and the pipeline bench."""
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+#: Process-global cache used by *worker-side* evaluators (which arrive as
+#: pickle blobs with the cache field stripped): every program a worker
+#: serves shares it, so identical configurations are reused across
+#: evaluators for the life of the worker.  In the orchestrating process the
+#: cache is evaluator-private unless a tuner or campaign injects a shared
+#: one — cache lifetime is an explicit choice there, not ambient state.
+_SHARED_CACHE: Optional[ArtifactCache] = None
+_SHARED_CACHE_LOCK = Lock()
+
+
+def shared_artifact_cache(max_entries: int = DEFAULT_ARTIFACT_CACHE_SIZE) -> ArtifactCache:
+    """The process-wide artifact cache (created on first use).
+
+    ``max_entries`` only sizes the cache at creation; later callers share
+    the existing instance unchanged (growing it for one evaluator would
+    silently grow it for every other).
+    """
+    global _SHARED_CACHE
+    with _SHARED_CACHE_LOCK:
+        if _SHARED_CACHE is None:
+            _SHARED_CACHE = ArtifactCache(max_entries)
+        return _SHARED_CACHE
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """The compile stage's output: the linked image plus score-stage inputs.
+
+    ``text_compressed_size`` is ``C(candidate .text)`` under the evaluator's
+    compressor — precomputed on the compile lane so the score stage (and any
+    later re-score of a cached artifact) only compresses the *joint* string.
+    ``None`` when the fitness is not NCD-based.
+    """
+
+    image: BinaryImage
+    text_compressed_size: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TraceArtifact:
+    """The measure stage's output: observable behaviour plus trace stats."""
+
+    behaviour: Tuple[int, str]
+    steps: int
+    cycles: int
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """One stage execution: the artifact, its wall clock, and cache provenance."""
+
+    value: object
+    seconds: float
+    cached: bool
+
+
+class CompileStage:
+    """Constraint check + compilation, content-addressed by configuration."""
+
+    name = "compile"
+
+    def __init__(
+        self,
+        compiler,
+        source: str,
+        program: str,
+        cache: ArtifactCache,
+        compressor: Optional[str] = None,
+    ) -> None:
+        self.compiler = compiler
+        self.source = source
+        self.program = program
+        self.cache = cache
+        self._constraints = ConstraintEngine(compiler.registry)
+        self._compress = None
+        if compressor is not None:
+            from repro.difftools.ncd import _COMPRESSORS
+
+            try:
+                self._compress = _COMPRESSORS[compressor]
+            except KeyError as exc:
+                raise ValueError(f"unknown compressor {compressor!r}") from exc
+        # The compressor is part of the address because the artifact carries
+        # the precomputed C(.text) *under that compressor*: a shared cache
+        # serving evaluator A's lzma size to evaluator B's zlib scoring
+        # would silently corrupt fitness values.
+        self._key_prefix = (
+            "image",
+            compiler.family,
+            compiler.version,
+            hashlib.sha256(source.encode()).hexdigest(),
+            compressor,
+        )
+
+    def key(self, flag_key: FlagKey) -> Tuple:
+        """The content address of one configuration's compiled artifact."""
+        return self._key_prefix + (tuple(flag_key),)
+
+    def peek(self, flag_key: FlagKey) -> Optional[CompiledArtifact]:
+        """Cache lookup without compiling (the best-image fast path)."""
+        artifact = self.cache.get(self.key(flag_key))
+        return artifact if isinstance(artifact, CompiledArtifact) else None
+
+    def run(self, flag_key: FlagKey, check_constraints: bool = True) -> StageOutcome:
+        started = time.perf_counter()
+        # Constraints are verified *before* the cache is consulted, exactly
+        # like the monolithic evaluator checks them before every compile: a
+        # conflicting key must raise even when its artifact is cached (e.g.
+        # compiled earlier through the unchecked compare_levels path).
+        flags = FlagVector(self.compiler.registry, frozenset(flag_key))
+        if check_constraints:
+            flags = self._constraints.check(flags)
+        cache_key = self.key(flag_key)
+        artifact = self.cache.get(cache_key)
+        if artifact is not None:
+            return StageOutcome(artifact, time.perf_counter() - started, True)
+        image = self.compiler.compile(self.source, flags, name=self.program).image
+        compressed = len(self._compress(image.text)) if self._compress else None
+        artifact = CompiledArtifact(image, compressed)
+        self.cache.put(cache_key, artifact)
+        return StageOutcome(artifact, time.perf_counter() - started, False)
+
+
+class MeasureStage:
+    """Emulation of a candidate image on the workload, addressed by content.
+
+    The cache key is the *image* digest plus the workload, not the flag key:
+    distinct configurations routinely produce identical binaries, and those
+    share one trace.
+    """
+
+    name = "measure"
+
+    def __init__(
+        self,
+        arguments: Sequence[int],
+        inputs: Sequence[int],
+        max_steps: int,
+        cache: ArtifactCache,
+    ) -> None:
+        self.arguments = tuple(arguments)
+        self.inputs = tuple(inputs)
+        self.max_steps = max_steps
+        self.cache = cache
+
+    def key(self, image: BinaryImage) -> Tuple:
+        return ("trace", image.sha256(), self.arguments, self.inputs, self.max_steps)
+
+    def run(self, image: BinaryImage) -> StageOutcome:
+        started = time.perf_counter()
+        cache_key = self.key(image)
+        artifact = self.cache.get(cache_key)
+        if artifact is not None:
+            return StageOutcome(artifact, time.perf_counter() - started, True)
+        result = run_program(
+            image, args=self.arguments, inputs=self.inputs, max_steps=self.max_steps
+        )
+        artifact = TraceArtifact(
+            behaviour=result.observable_state(), steps=result.steps, cycles=result.cycles
+        )
+        # Emulation faults are *not* cached: they raise out of run_program
+        # before this point, and the emulator is deterministic, so a retry
+        # costs exactly one re-run of a rare path.
+        self.cache.put(cache_key, artifact)
+        return StageOutcome(artifact, time.perf_counter() - started, False)
+
+
+class ScoreStage:
+    """The fitness function over a compiled artifact.
+
+    NCD fitness consumes the artifact's precomputed compressed size instead
+    of recompressing the candidate text; other fitness kinds (BinHunt) score
+    the image directly.  Values are bit-identical either way.
+    """
+
+    name = "score"
+
+    def __init__(self, fitness) -> None:
+        self.fitness = fitness
+
+    def run(self, artifact: CompiledArtifact) -> StageOutcome:
+        started = time.perf_counter()
+        if (
+            artifact.text_compressed_size is not None
+            and isinstance(self.fitness, CachedNCDFitness)
+        ):
+            value = self.fitness.score_artifact(
+                artifact.image, artifact.text_compressed_size
+            )
+        else:
+            value = self.fitness(artifact.image)
+        return StageOutcome(value, time.perf_counter() - started, False)
+
+
+@dataclass
+class StagedCandidateEvaluator(TunerCandidateEvaluator):
+    """Staged drop-in for the monolithic evaluator (same key -> same result).
+
+    Carries the same build-spec fields plus the artifact-cache knobs.  The
+    cache itself never crosses a process boundary: pickling strips it (like
+    the fitness state), and the worker side falls back to its process-shared
+    cache, so every worker accumulates reusable artifacts across programs.
+    """
+
+    cache_size: int = DEFAULT_ARTIFACT_CACHE_SIZE
+    artifact_cache: Optional[ArtifactCache] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._compile_stage: Optional[CompileStage] = None
+        self._measure_stage: Optional[MeasureStage] = None
+        self._score_stage: Optional[ScoreStage] = None
+        self._stage_lock = Lock()
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["artifact_cache"] = None  # per-process state, like the fitness
+        state["_compile_stage"] = None
+        state["_measure_stage"] = None
+        state["_score_stage"] = None
+        state["_stage_lock"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._stage_lock = Lock()
+        # Worker side of a pickle round trip: adopt the process-shared cache
+        # so every program this worker serves reuses artifacts.
+        self.artifact_cache = shared_artifact_cache(self.cache_size)
+
+    # -- stage construction -------------------------------------------------------
+
+    def cache(self) -> ArtifactCache:
+        if self.artifact_cache is None:
+            self.artifact_cache = ArtifactCache(self.cache_size)
+        return self.artifact_cache
+
+    def _ensure_stages(self) -> Tuple[CompileStage, Optional[MeasureStage], ScoreStage]:
+        # Thread mappers run evaluate_batch concurrently on one shared
+        # evaluator; without the lock two threads could each build a private
+        # cache and stage set, silently halving reuse.  ``_compile_stage``
+        # is assigned last, so the unlocked fast path only ever observes a
+        # fully built pipeline.
+        if self._compile_stage is None:
+            with self._stage_lock:
+                if self._compile_stage is None:
+                    cache = self.cache()
+                    # Built before any candidate is touched so configuration
+                    # errors (an unknown compressor) propagate exactly like
+                    # the monolithic evaluator's fitness construction
+                    # instead of scoring a penalty.
+                    fitness = self.fitness_function()
+                    self._score_stage = ScoreStage(fitness)
+                    if self.baseline_behaviour is not None:
+                        self._measure_stage = MeasureStage(
+                            self.arguments, self.inputs, self.max_emulation_steps, cache
+                        )
+                    self._compile_stage = CompileStage(
+                        self.compiler,
+                        self.source,
+                        self.name,
+                        cache,
+                        compressor=(
+                            self.compressor
+                            if isinstance(fitness, CachedNCDFitness) else None
+                        ),
+                    )
+        return self._compile_stage, self._measure_stage, self._score_stage
+
+    # -- candidate evaluation -----------------------------------------------------
+
+    def _compile_outcome(self, key: FlagKey):
+        """Compile-lane half: a :class:`StageOutcome`, or a caught domain error.
+
+        Domain failures are returned (not raised) so the compile lane can run
+        ahead of the measure/score lane without losing them; programming
+        errors propagate through the lane's future exactly as they would from
+        the monolithic evaluator.
+        """
+        compile_stage, _measure, _score = self._ensure_stages()
+        started = time.perf_counter()
+        try:
+            return compile_stage.run(key)
+        except (CompilationError, EmulationError, ConstraintViolation, ValueError):
+            return StageOutcome(None, time.perf_counter() - started, False)
+
+    def _finish(self, outcome: StageOutcome) -> CandidateResult:
+        """Measure/score-lane half: trace, behaviour check, fitness, result."""
+        _compile, measure_stage, score_stage = self._ensure_stages()
+        if outcome.value is None:  # the compile lane caught a domain failure
+            return self._invalid_result(
+                elapsed=outcome.seconds, compile_seconds=outcome.seconds
+            )
+        artifact: CompiledArtifact = outcome.value
+        measure_seconds = 0.0
+        measure_cached = False
+        measured = False
+        try:
+            if measure_stage is not None:
+                trace_outcome = measure_stage.run(artifact.image)
+                measure_seconds = trace_outcome.seconds
+                measure_cached = trace_outcome.cached
+                measured = True
+                if trace_outcome.value.behaviour != self.baseline_behaviour:
+                    raise CompilationError("tuned binary changed observable behaviour")
+            score_outcome = score_stage.run(artifact)
+        except (CompilationError, EmulationError, ConstraintViolation, ValueError):
+            return self._invalid_result(
+                elapsed=outcome.seconds + measure_seconds,
+                compile_seconds=outcome.seconds,
+                measure_seconds=measure_seconds,
+                artifact_hits=int(outcome.cached) + int(measure_cached),
+                artifact_misses=int(not outcome.cached) + int(measured and not measure_cached),
+            )
+        return CandidateResult(
+            fitness=score_outcome.value,
+            code_size=artifact.image.code_size(),
+            fingerprint=artifact.image.fingerprint(),
+            valid=True,
+            elapsed_seconds=outcome.seconds + measure_seconds + score_outcome.seconds,
+            compile_seconds=outcome.seconds,
+            measure_seconds=measure_seconds,
+            score_seconds=score_outcome.seconds,
+            artifact_hits=int(outcome.cached) + int(measure_cached),
+            artifact_misses=int(not outcome.cached) + int(measured and not measure_cached),
+            staged=True,
+        )
+
+    def _invalid_result(
+        self,
+        elapsed: float,
+        compile_seconds: float = 0.0,
+        measure_seconds: float = 0.0,
+        artifact_hits: int = 0,
+        artifact_misses: int = 0,
+    ) -> CandidateResult:
+        return CandidateResult(
+            fitness=self.invalid_fitness,
+            code_size=0,
+            fingerprint="invalid",
+            valid=False,
+            elapsed_seconds=elapsed,
+            compile_seconds=compile_seconds,
+            measure_seconds=measure_seconds,
+            artifact_hits=artifact_hits,
+            artifact_misses=artifact_misses,
+            staged=True,
+        )
+
+    def __call__(self, key: FlagKey) -> CandidateResult:
+        return self._finish(self._compile_outcome(key))
+
+    def evaluate_batch(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
+        """Evaluate a batch with the compile lane overlapping measure+score.
+
+        All compiles are submitted to a single dedicated lane up front;
+        the main lane consumes artifacts in submission order and runs
+        emulation plus scoring, so while candidate *k* is being measured the
+        lane is already compiling candidate *k+1*.  Results are assembled in
+        submission order, so ordering — and therefore every record and
+        fingerprint downstream — is identical to the sequential path.
+        """
+        keys = list(keys)
+        if len(keys) < 2:
+            return [self(key) for key in keys]
+        self._ensure_stages()
+        from concurrent.futures import ThreadPoolExecutor
+
+        lane = ThreadPoolExecutor(max_workers=1, thread_name_prefix="compile-lane")
+        try:
+            futures = [lane.submit(self._compile_outcome, key) for key in keys]
+            return [self._finish(future.result()) for future in futures]
+        finally:
+            lane.shutdown(wait=False, cancel_futures=True)
+
+    # -- artifact reuse beyond the search loop ------------------------------------
+
+    def cached_image(self, key: FlagKey) -> Optional[BinaryImage]:
+        """The compiled image of ``key`` if (and only if) it is cached.
+
+        Never compiles: the tuner uses this to serve the final best-candidate
+        build from the cache and falls back to a real compile on a miss.
+        """
+        compile_stage, _measure, _score = self._ensure_stages()
+        artifact = compile_stage.peek(key)
+        return artifact.image if artifact is not None else None
+
+    def score_flags(self, key: FlagKey) -> float:
+        """Compile (through the cache) and score one configuration.
+
+        The ``compare_levels`` path: no functional-correctness measurement
+        and no constraint check, mirroring the direct ``compile_level`` +
+        fitness call it replaces — but preset builds that the search already
+        produced are now cache hits instead of recompilations.
+        """
+        compile_stage, _measure, score_stage = self._ensure_stages()
+        outcome = compile_stage.run(key, check_constraints=False)
+        return score_stage.run(outcome.value).value

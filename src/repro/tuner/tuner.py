@@ -32,6 +32,12 @@ from repro.tuner.evaluation import (
     EvaluationStats,
     TunerCandidateEvaluator,
 )
+from repro.tuner.pipeline import (
+    DEFAULT_ARTIFACT_CACHE_SIZE,
+    PIPELINES,
+    ArtifactCache,
+    StagedCandidateEvaluator,
+)
 from repro.tuner.search import GAParameters, GeneticAlgorithm, HillClimber, RandomSearch
 
 
@@ -110,6 +116,15 @@ class BinTunerConfig:
     #: best configurations of already-tuned programs in a campaign.  Names
     #: unknown to the target compiler's registry are dropped silently.
     warm_start: Tuple[Tuple[str, ...], ...] = ()
+    #: Candidate-evaluation pipeline: ``"staged"`` (the default) splits
+    #: compile/measure/score into cached, overlappable stages
+    #: (:mod:`repro.tuner.pipeline`); ``"monolithic"`` runs the original
+    #: opaque closure.  Results are bit-for-bit identical either way.
+    pipeline: str = "staged"
+    #: Bound of the staged pipeline's artifact cache (entries, not bytes).
+    #: Only sizes a cache this tuner creates; an injected or process-shared
+    #: cache keeps its own bound.
+    artifact_cache_size: int = DEFAULT_ARTIFACT_CACHE_SIZE
 
 
 @dataclass
@@ -141,18 +156,27 @@ class BinTuner:
         config: Optional[BinTunerConfig] = None,
         database: Optional[TuningDatabase] = None,
         mapper_factory=None,
+        artifact_cache: Optional[ArtifactCache] = None,
     ) -> None:
         self.compiler = compiler
         self.spec = spec
         self.config = config or BinTunerConfig()
+        if self.config.pipeline not in PIPELINES:
+            raise ValueError(
+                f"unknown pipeline {self.config.pipeline!r} "
+                f"(use one of {', '.join(PIPELINES)})"
+            )
         self.constraints = ConstraintEngine(compiler.registry)
         # A campaign injects its shard as ``database`` (so dedup extends to a
-        # checkpointed prior run) and its shared worker pool as
-        # ``mapper_factory`` (evaluator -> mapper; the pool owns its lifetime).
+        # checkpointed prior run), its shared worker pool as ``mapper_factory``
+        # (evaluator -> mapper; the pool owns its lifetime), and its
+        # campaign-wide ``artifact_cache`` (content-addressed, so sharing
+        # across programs is safe and warm starts reuse compiled artifacts).
         self.database = database if database is not None else TuningDatabase(
             program=spec.name, compiler=compiler.registry.compiler
         )
         self._mapper_factory = mapper_factory
+        self._artifact_cache = artifact_cache
         self._baseline: Optional[BinaryImage] = None
         self._baseline_behaviour = None
         self._evaluator: Optional[TunerCandidateEvaluator] = None
@@ -188,7 +212,7 @@ class BinTuner:
 
     def _build_evaluator(self) -> TunerCandidateEvaluator:
         if self._evaluator is None:
-            self._evaluator = TunerCandidateEvaluator(
+            common = dict(
                 compiler=self.compiler,
                 source=self.spec.source,
                 name=self.spec.name,
@@ -201,6 +225,14 @@ class BinTuner:
                 invalid_fitness=self.config.invalid_fitness,
                 max_emulation_steps=self.config.max_emulation_steps,
             )
+            if self.config.pipeline == "staged":
+                self._evaluator = StagedCandidateEvaluator(
+                    cache_size=self.config.artifact_cache_size,
+                    artifact_cache=self._artifact_cache,
+                    **common,
+                )
+            else:
+                self._evaluator = TunerCandidateEvaluator(**common)
         return self._evaluator
 
     def evaluation_engine(self) -> EvaluationEngine:
@@ -279,7 +311,7 @@ class BinTuner:
             # Worker processes do not outlive the run; the engine (and its
             # database/stats) stays usable for follow-up evaluate() calls.
             engine.close()
-        best_image = self.compiler.compile(self.spec.source, best_flags, name=self.spec.name).image
+        best_image = self._best_image(best_flags)
         return TuningResult(
             program=self.spec.name,
             compiler=self.compiler.registry.compiler,
@@ -297,11 +329,40 @@ class BinTuner:
             evaluation_stats=engine.stats.since(stats_before),
         )
 
+    def _best_image(self, best_flags: FlagVector) -> BinaryImage:
+        """The winning configuration's binary, served from the artifact cache.
+
+        The staged pipeline already compiled the best candidate at least once
+        (it was evaluated); recompiling it from scratch at the end of every
+        run — the historical behaviour — paid one full compile per run for
+        nothing.  A cache miss (monolithic pipeline, eviction, or a candidate
+        compiled only inside a worker process) falls back to compiling.
+        """
+        evaluator = self._build_evaluator()
+        if isinstance(evaluator, StagedCandidateEvaluator):
+            cached = evaluator.cached_image(tuple(best_flags.sorted_names()))
+            if cached is not None:
+                return cached
+        return self.compiler.compile(self.spec.source, best_flags, name=self.spec.name).image
+
     # -- convenience -------------------------------------------------------------------
 
     def compare_levels(self, levels: Sequence[str] = ("O1", "O2", "O3", "Os")) -> Dict[str, float]:
-        """Fitness (difference from O0) of the default -Ox levels."""
+        """Fitness (difference from O0) of the default -Ox levels.
+
+        On the staged pipeline the presets go through the compile/score
+        stages, so a preset the search already built (or a repeated
+        ``compare_levels`` call) is an artifact-cache hit, not a recompile.
+        """
         out: Dict[str, float] = {}
+        evaluator = self._build_evaluator()
+        if isinstance(evaluator, StagedCandidateEvaluator):
+            for level in levels:
+                if level not in self.compiler.registry.presets:
+                    continue
+                preset = self.compiler.preset(level)
+                out[level] = evaluator.score_flags(tuple(preset.sorted_names()))
+            return out
         fitness_fn = self._make_fitness()
         for level in levels:
             if level not in self.compiler.registry.presets:

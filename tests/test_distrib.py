@@ -678,3 +678,118 @@ class TestCampaignWorkerSubcommand:
         port = probe.getsockname()[1]
         probe.close()
         assert main(["worker", "--connect", f"127.0.0.1:{port}", "--quiet"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# worker resilience: reconnect/backoff and mid-batch heartbeats
+# ---------------------------------------------------------------------------
+
+class _SleepyEvaluator:
+    """Picklable evaluator slower than a tiny coordinator timeout."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        self.delay = delay
+
+    def __call__(self, key):
+        import time
+
+        time.sleep(self.delay)
+        return CandidateResult(
+            fitness=float(len(key)), code_size=1, fingerprint="slow:" + "+".join(key),
+            valid=True, elapsed_seconds=self.delay,
+        )
+
+
+class TestWorkerResilience:
+    def _free_port(self) -> int:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_reconnect_joins_late_coordinator_and_rejoins_after_drop(self):
+        """--reconnect semantics end to end: the worker starts before any
+        coordinator exists (refused connections back off and retry), joins
+        once one binds, re-registers after its connection is dropped without
+        a Shutdown (the restarted-machine scenario), and still exits cleanly
+        on a real Shutdown."""
+        from repro.distrib.worker import run_worker
+
+        port = self._free_port()
+        address = f"127.0.0.1:{port}"
+        outcome = {}
+
+        def target():
+            outcome["status"] = run_worker(
+                address, reconnect=True, backoff_base=0.05, backoff_cap=0.2,
+                hard_exit=False, heartbeat_interval=0.0,
+            )
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        with Coordinator(host="127.0.0.1", port=port) as coordinator:
+            coordinator.wait_for_workers(1, timeout=10)
+            first = coordinator.workers()[0]
+            # Sanity: the late-joining worker actually evaluates.
+            mapper = DistributedMapper(coordinator, FakeEvaluator("reconnect"))
+            assert [r.fingerprint for r in mapper.map(KEYS[:2])] == [
+                FakeEvaluator("reconnect")(key).fingerprint for key in KEYS[:2]
+            ]
+            # Network drop without Shutdown: the worker must come back.
+            coordinator.discard(first)
+            coordinator.wait_for_workers(1, timeout=10)
+            assert coordinator.workers()[0].worker_id != first.worker_id
+        # Coordinator.close() sent Shutdown: the reconnect loop must stop.
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert outcome["status"] == 0
+
+    def test_reconnect_gives_up_after_max_retries(self):
+        from repro.distrib.worker import CONNECTION_LOST_STATUS, run_worker
+
+        port = self._free_port()  # nothing ever listens here
+        status = run_worker(
+            f"127.0.0.1:{port}", reconnect=True, max_retries=2,
+            backoff_base=0.01, hard_exit=False,
+        )
+        assert status == CONNECTION_LOST_STATUS
+
+    def test_without_reconnect_refused_connection_raises(self):
+        from repro.distrib.worker import run_worker
+
+        with pytest.raises(OSError):
+            run_worker(f"127.0.0.1:{self._free_port()}", hard_exit=False)
+
+    def test_heartbeats_keep_slow_batches_alive(self):
+        """A batch slower than the per-task budget survives as long as the
+        worker keeps beating — the coordinator only discards silence."""
+        with Coordinator(task_timeout=0.2, handshake_timeout=0.2) as coordinator:
+            with thread_workers(coordinator, 1, heartbeat_interval=0.05):
+                mapper = DistributedMapper(coordinator, _SleepyEvaluator(delay=1.0))
+                results = mapper.map(KEYS[:1])
+                assert mapper.fallback_evaluations == 0
+                assert coordinator.worker_count() == 1
+                assert results[0].fingerprint.startswith("slow:")
+
+    def test_without_heartbeats_slow_batch_reads_as_worker_loss(self):
+        """The control case (and the pre-PR failure mode): no heartbeats, so
+        the same slow batch times out, the worker is discarded, and the
+        mapper falls back in-process."""
+        with Coordinator(task_timeout=0.2, handshake_timeout=0.2) as coordinator:
+            with thread_workers(coordinator, 1, heartbeat_interval=0.0):
+                mapper = DistributedMapper(coordinator, _SleepyEvaluator(delay=1.0))
+                results = mapper.map(KEYS[:1])
+                assert mapper.fallback_evaluations == 1
+                assert coordinator.worker_count() == 0
+                assert results[0].fingerprint.startswith("slow:")
+
+    def test_heartbeat_frames_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            protocol.send_message(left, protocol.Heartbeat(worker_id=9))
+            message = protocol.recv_message(right)
+            assert isinstance(message, protocol.Heartbeat) and message.worker_id == 9
+        finally:
+            left.close()
+            right.close()

@@ -1,0 +1,504 @@
+"""Tests for the staged evaluation pipeline (:mod:`repro.tuner.pipeline`).
+
+The load-bearing guarantees:
+
+* the staged pipeline produces results — records, order, database
+  fingerprints — bit-for-bit identical to the monolithic evaluator on the
+  serial, thread, process and distributed executors;
+* the :class:`ArtifactCache` is a correct bounded LRU with honest hit/miss/
+  eviction accounting, and eviction never changes any result;
+* compile artifacts are content-addressed (compiler, source digest, flags)
+  and traces by (image digest, workload), so shared caches are safe across
+  evaluators, programs and reruns — a warm-started rerun stops recompiling;
+* the final best-candidate build is served from the cache instead of being
+  recompiled from scratch, and ``compare_levels`` goes through the stages.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig, ProgramJob
+from repro.difftools import NCDFitness
+from repro.tuner import (
+    ArtifactCache,
+    BinTuner,
+    BinTunerConfig,
+    BuildSpec,
+    CompileStage,
+    GAParameters,
+    MeasureStage,
+    ScoreStage,
+    StagedCandidateEvaluator,
+    TunerCandidateEvaluator,
+    shared_artifact_cache,
+)
+from repro.tuner.evaluation import split_into_chunks
+
+TINY_SOURCE = """
+int acc[16];
+int work(int n) { int i; int s = 0; for (i = 0; i < n; i++) { acc[i % 16] = i * 3; s += acc[i % 16]; } return s; }
+int pick(int x) { switch (x) { case 0: return 5; case 1: return 9; case 2: return 13; default: return 1; } }
+int main() { int s = work(40); int i; for (i = 0; i < 6; i++) s += pick(i % 4); print_int(s); return s % 101; }
+"""
+
+TINY_B = """
+int grid[24];
+int mix(int n) { int i; int s = 1; for (i = 1; i < n; i++) { grid[i % 24] = s ^ (i * 5); s += grid[i % 24] % 7; } return s; }
+int main() { int s = mix(30); print_int(s); return s % 97; }
+"""
+
+SOURCES = {"tiny-a": TINY_SOURCE, "tiny-b": TINY_B}
+JOBS = [ProgramJob("llvm", "tiny-a"), ProgramJob("llvm", "tiny-b")]
+
+
+def tiny_spec(job: ProgramJob) -> BuildSpec:
+    return BuildSpec(name=job.program, source=SOURCES[job.program])
+
+
+def signature(record):
+    """Identity fields of one record (everything but wall-clock timing)."""
+    return (record.iteration, record.flags, record.fitness, record.code_size,
+            record.fingerprint, record.generation, record.valid)
+
+
+def tune(llvm, pipeline, executor="serial", workers=1, cache=None, max_iterations=16):
+    config = BinTunerConfig(
+        max_iterations=max_iterations,
+        ga=GAParameters(population_size=6, seed=9),
+        stall_window=12,
+        pipeline=pipeline,
+        executor=executor,
+        workers=workers,
+    )
+    tuner = BinTuner(
+        llvm, BuildSpec(name="tiny", source=TINY_SOURCE), config, artifact_cache=cache
+    )
+    try:
+        return tuner.run(), tuner
+    finally:
+        tuner.close()
+
+
+# ---------------------------------------------------------------------------
+# the artifact cache
+# ---------------------------------------------------------------------------
+
+class TestArtifactCache:
+    def test_hit_miss_accounting(self):
+        cache = ArtifactCache(max_entries=8)
+        assert cache.get(("image", "a")) is None
+        cache.put(("image", "a"), "artifact-a")
+        assert cache.get(("image", "a")) == "artifact-a"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert 0.0 < cache.hit_ratio < 1.0
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["evictions"] == 0
+
+    def test_lru_eviction_order(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put(("k", 1), "one")
+        cache.put(("k", 2), "two")
+        assert cache.get(("k", 1)) == "one"  # 1 becomes most recent
+        cache.put(("k", 3), "three")         # evicts 2, the LRU entry
+        assert cache.get(("k", 2)) is None
+        assert cache.get(("k", 1)) == "one"
+        assert cache.get(("k", 3)) == "three"
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_bound_is_enforced(self):
+        cache = ArtifactCache(max_entries=3)
+        for index in range(10):
+            cache.put(("k", index), index)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_clear(self):
+        cache = ArtifactCache()
+        cache.put(("k",), 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get(("k",)) is None
+
+
+# ---------------------------------------------------------------------------
+# the stages
+# ---------------------------------------------------------------------------
+
+class TestStages:
+    def test_compile_stage_content_addressing(self, llvm):
+        cache = ArtifactCache()
+        stage = CompileStage(llvm, TINY_SOURCE, "tiny", cache, compressor="lzma")
+        key = tuple(llvm.preset("O2").sorted_names())
+        cold = stage.run(key)
+        warm = stage.run(key)
+        assert not cold.cached and warm.cached
+        assert warm.value is cold.value  # the artifact itself, not a copy
+        assert cold.value.image.fingerprint() == (
+            llvm.compile(TINY_SOURCE, llvm.preset("O2"), name="tiny").image.fingerprint()
+        )
+        # The precomputed compressed size is exactly what scoring would use.
+        import lzma
+
+        assert cold.value.text_compressed_size == len(
+            lzma.compress(cold.value.image.text, preset=6)
+        )
+
+    def test_compile_stage_key_separates_sources_and_flags(self, llvm):
+        cache = ArtifactCache()
+        stage_a = CompileStage(llvm, TINY_SOURCE, "a", cache)
+        stage_b = CompileStage(llvm, TINY_B, "b", cache)
+        key = tuple(llvm.preset("O1").sorted_names())
+        assert stage_a.key(key) != stage_b.key(key)
+        assert stage_a.key(key) != stage_a.key(tuple(llvm.preset("O2").sorted_names()))
+        stage_a.run(key)
+        # The other source is a different address: no false sharing.
+        assert not stage_b.run(key).cached
+
+    def test_measure_stage_keyed_by_image_digest(self, llvm):
+        cache = ArtifactCache()
+        stage = MeasureStage(arguments=(), inputs=(), max_steps=2_000_000, cache=cache)
+        image = llvm.compile_level(TINY_SOURCE, "O1", name="tiny").image
+        cold = stage.run(image)
+        warm = stage.run(image)
+        assert not cold.cached and warm.cached
+        assert warm.value.behaviour == cold.value.behaviour
+        assert cold.value.steps > 0 and cold.value.cycles > 0
+        # A different workload is a different address.
+        other = MeasureStage(arguments=(3,), inputs=(), max_steps=2_000_000, cache=cache)
+        assert other.key(image) != stage.key(image)
+
+    def test_score_stage_matches_plain_fitness(self, llvm):
+        from repro.difftools import CachedNCDFitness
+
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        cache = ArtifactCache()
+        compile_stage = CompileStage(llvm, TINY_SOURCE, "tiny", cache, compressor="lzma")
+        fitness = CachedNCDFitness(baseline)
+        stage = ScoreStage(fitness)
+        plain = NCDFitness(baseline)
+        for level in ("O1", "O2", "O3"):
+            artifact = compile_stage.run(tuple(llvm.preset(level).sorted_names())).value
+            assert stage.run(artifact).value == plain(artifact.image)
+
+
+# ---------------------------------------------------------------------------
+# the staged evaluator
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def evaluator_pair(llvm):
+    baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+    common = dict(compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline)
+    return (
+        StagedCandidateEvaluator(artifact_cache=ArtifactCache(), **common),
+        TunerCandidateEvaluator(**common),
+    )
+
+
+class TestStagedEvaluator:
+    def test_results_match_monolithic(self, llvm, evaluator_pair):
+        staged, monolithic = evaluator_pair
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2", "O3", "Os")]
+        keys.append(("-fpartial-inlining",))  # constraint violation: invalid
+        for key in keys:
+            lhs, rhs = staged(key), monolithic(key)
+            assert (lhs.fitness, lhs.code_size, lhs.fingerprint, lhs.valid) == (
+                rhs.fitness, rhs.code_size, rhs.fingerprint, rhs.valid
+            )
+        assert staged(keys[-1]).staged and not monolithic(keys[-1]).staged
+
+    def test_batch_matches_sequential_in_order(self, llvm, evaluator_pair):
+        staged, _monolithic = evaluator_pair
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2", "O3")]
+        keys.append(("-fpartial-inlining",))
+        sequential = [staged(key) for key in keys]
+        fresh = StagedCandidateEvaluator(
+            compiler=staged.compiler, source=staged.source, name=staged.name,
+            baseline=staged.baseline, artifact_cache=ArtifactCache(),
+        )
+        batched = fresh.evaluate_batch(keys)
+        assert [
+            (r.fitness, r.code_size, r.fingerprint, r.valid) for r in batched
+        ] == [
+            (r.fitness, r.code_size, r.fingerprint, r.valid) for r in sequential
+        ]
+
+    def test_artifact_hits_reported_per_candidate(self, llvm):
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        cache = ArtifactCache()
+        common = dict(compiler=llvm, source=TINY_SOURCE, name="tiny",
+                      baseline=baseline, artifact_cache=cache)
+        key = tuple(llvm.preset("O2").sorted_names())
+        cold = StagedCandidateEvaluator(**common)(key)
+        assert cold.artifact_hits == 0 and cold.artifact_misses >= 1
+        # A second evaluator sharing the cache reuses the compiled artifact.
+        warm = StagedCandidateEvaluator(**common)(key)
+        assert warm.artifact_hits >= 1
+        assert (warm.fitness, warm.fingerprint) == (cold.fitness, cold.fingerprint)
+        assert cache.hits >= 1
+
+    def test_cached_unchecked_compile_cannot_bypass_constraints(self, llvm):
+        """compare_levels compiles without a constraint check (matching the
+        monolithic compile_level path); a conflicting key it happened to
+        cache must still score invalid when the *search* evaluates it."""
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        evaluator = StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            artifact_cache=ArtifactCache(),
+        )
+        conflicting = ("-fpartial-inlining",)  # missing its prerequisite
+        evaluator.score_flags(conflicting)  # unchecked: compiles and caches
+        result = evaluator(conflicting)     # search path: constraint-checked
+        assert not result.valid and result.fingerprint == "invalid"
+
+    def test_shared_cache_across_compressors_keeps_scores_exact(self, llvm):
+        """The precomputed C(.text) is compressor-specific, so the compile
+        artifact's address must be too — a shared cache must never serve one
+        compressor's size to another's scoring."""
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        cache = ArtifactCache()
+        key = tuple(llvm.preset("O2").sorted_names())
+        common = dict(compiler=llvm, source=TINY_SOURCE, name="tiny",
+                      baseline=baseline, artifact_cache=cache)
+        lzma_result = StagedCandidateEvaluator(compressor="lzma", **common)(key)
+        zlib_result = StagedCandidateEvaluator(compressor="zlib", **common)(key)
+        reference = TunerCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            compressor="zlib",
+        )(key)
+        assert zlib_result.fitness == reference.fitness
+        assert zlib_result.fitness != lzma_result.fitness  # sanity: they differ
+
+    def test_pickle_round_trip_adopts_shared_cache(self, llvm, evaluator_pair):
+        staged, _monolithic = evaluator_pair
+        key = tuple(llvm.preset("O1").sorted_names())
+        original = staged(key)
+        clone = pickle.loads(pickle.dumps(staged))
+        assert clone.artifact_cache is shared_artifact_cache()
+        assert clone(key).fitness == original.fitness
+
+    def test_programming_errors_propagate_from_batch(self, llvm, monkeypatch):
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        evaluator = StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            artifact_cache=ArtifactCache(),
+        )
+
+        def broken_compile(*args, **kwargs):
+            raise TypeError("injected bug")
+
+        monkeypatch.setattr(evaluator.compiler, "compile", broken_compile)
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2")]
+        with pytest.raises(TypeError):
+            evaluator.evaluate_batch(keys)
+
+    def test_split_into_chunks_is_deterministic_and_total(self):
+        items = list(range(11))
+        chunks = split_into_chunks(items, 4)
+        assert [item for chunk in chunks for item in chunk] == items
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 2]
+        assert split_into_chunks(items, 4) == chunks
+        assert split_into_chunks([], 4) == []
+        assert split_into_chunks([1, 2], 8) == [[1], [2]]
+
+
+# ---------------------------------------------------------------------------
+# tuner integration: parity, cache reuse, the best-image fast path
+# ---------------------------------------------------------------------------
+
+class TestTunerPipelineParity:
+    def test_staged_serial_matches_monolithic(self, llvm):
+        mono, _tuner = tune(llvm, "monolithic")
+        staged, _tuner = tune(llvm, "staged")
+        assert staged.database.fingerprint() == mono.database.fingerprint()
+        assert staged.best_flags.sorted_names() == mono.best_flags.sorted_names()
+        assert [signature(r) for r in staged.database.records] == [
+            signature(r) for r in mono.database.records
+        ]
+        assert staged.best_image.fingerprint() == mono.best_image.fingerprint()
+
+    def test_staged_thread_matches_monolithic_serial(self, llvm):
+        mono, _tuner = tune(llvm, "monolithic")
+        staged, _tuner = tune(llvm, "staged", executor="thread", workers=2)
+        assert staged.database.fingerprint() == mono.database.fingerprint()
+
+    @pytest.mark.slow
+    def test_staged_process_four_workers_matches_monolithic_serial(self, llvm):
+        mono, _tuner = tune(llvm, "monolithic")
+        staged, _tuner = tune(llvm, "staged", executor="process", workers=4)
+        assert staged.database.fingerprint() == mono.database.fingerprint()
+        assert staged.best_flags.sorted_names() == mono.best_flags.sorted_names()
+
+    def test_unknown_pipeline_rejected(self, llvm):
+        with pytest.raises(ValueError):
+            BinTuner(
+                llvm,
+                BuildSpec(name="tiny", source=TINY_SOURCE),
+                BinTunerConfig(pipeline="quantum"),
+            )
+
+
+class TestTunerCacheReuse:
+    def test_best_image_served_from_cache_not_recompiled(self, llvm, monkeypatch):
+        """The run() bugfix: one compile less than the monolithic path."""
+        calls = []
+        original = llvm.compile
+
+        def counting_compile(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(llvm, "compile", counting_compile)
+        _result, _tuner = tune(llvm, "monolithic")
+        monolithic_calls = len(calls)
+        calls.clear()
+        _result, _tuner = tune(llvm, "staged")
+        staged_calls = len(calls)
+        # Identical seeded searches compile identical candidate sets; the
+        # staged run skips exactly the final best-candidate recompile.
+        assert staged_calls == monolithic_calls - 1
+
+    def test_compare_levels_matches_and_caches(self, llvm, monkeypatch):
+        mono_result, mono_tuner = tune(llvm, "monolithic")
+        staged_result, staged_tuner = tune(llvm, "staged")
+        assert staged_tuner.compare_levels() == mono_tuner.compare_levels()
+        calls = []
+        original = llvm.compile
+
+        def counting_compile(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(llvm, "compile", counting_compile)
+        staged_tuner.compare_levels()  # every preset is already an artifact
+        assert calls == []
+
+    def test_warm_rerun_hits_artifact_cache(self, llvm):
+        cache = ArtifactCache()
+        cold, _tuner = tune(llvm, "staged", cache=cache)
+        warm, _tuner = tune(llvm, "staged", cache=cache)
+        assert warm.database.fingerprint() == cold.database.fingerprint()
+        stats = warm.evaluation_stats
+        assert stats.artifact_hits > 0
+        assert stats.artifact_hit_ratio == 1.0  # every stage was cached
+        assert warm.evaluation_stats.evaluated == cold.evaluation_stats.evaluated
+
+    def test_eviction_never_changes_results(self, llvm):
+        unbounded, _tuner = tune(llvm, "staged", cache=ArtifactCache())
+        tiny_cache = ArtifactCache(max_entries=2)
+        bounded, _tuner = tune(llvm, "staged", cache=tiny_cache)
+        assert tiny_cache.evictions > 0
+        assert bounded.database.fingerprint() == unbounded.database.fingerprint()
+        assert bounded.best_image.fingerprint() == unbounded.best_image.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# campaign integration
+# ---------------------------------------------------------------------------
+
+class TestCampaignPipeline:
+    def _campaign(self, **config_kwargs):
+        config = CampaignConfig(
+            tuner=BinTunerConfig(
+                max_iterations=12, ga=GAParameters(population_size=6, seed=9),
+                stall_window=10,
+            ),
+            **config_kwargs,
+        )
+        return Campaign(JOBS, config, spec_provider=tiny_spec)
+
+    def test_staged_campaign_matches_monolithic(self):
+        mono = self._campaign(pipeline="monolithic").run()
+        staged = self._campaign(pipeline="staged").run()
+        assert staged.database.fingerprint() == mono.database.fingerprint()
+        assert mono.artifact_cache_stats is None
+        assert staged.artifact_cache_stats is not None
+        assert staged.artifact_cache_stats["misses"] > 0
+
+    def test_eviction_under_warm_started_campaign(self):
+        """A 2-entry campaign cache thrashes constantly (warm starts and all)
+        yet the database is identical to the generously cached run."""
+        roomy = self._campaign(pipeline="staged", warm_start=True).run()
+        tight = self._campaign(
+            pipeline="staged", warm_start=True, artifact_cache_size=2
+        ).run()
+        assert tight.artifact_cache_stats["evictions"] > 0
+        assert tight.database.fingerprint() == roomy.database.fingerprint()
+
+    def test_evaluation_stats_survive_checkpoint_manifest(self, tmp_path):
+        first = self._campaign(
+            pipeline="staged", checkpoint_dir=tmp_path / "ckpt"
+        ).run()
+        resumed = self._campaign(
+            pipeline="staged", checkpoint_dir=tmp_path / "ckpt"
+        ).run()
+        assert all(program.resumed for program in resumed.programs)
+        for program in resumed.programs:
+            stats = program.evaluation_stats
+            assert stats is not None and stats.evaluated > 0
+            live = first.result_for(program.job.family, program.job.program)
+            assert stats.evaluated == live.evaluation_stats.evaluated
+            assert stats.artifact_misses == live.evaluation_stats.artifact_misses
+        assert resumed.database.fingerprint() == first.database.fingerprint()
+
+    def test_monolithic_knob_reaches_tuner(self):
+        campaign = self._campaign(pipeline="monolithic")
+        assert campaign.artifact_cache is None
+        with pytest.raises(ValueError):
+            self._campaign(pipeline="quantum")
+
+
+# ---------------------------------------------------------------------------
+# distributed parity (loopback-gated, slow: 4 worker threads)
+# ---------------------------------------------------------------------------
+
+def _loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not _loopback_available(), reason="no AF_INET loopback in this sandbox")
+def test_staged_distributed_four_workers_matches_monolithic_serial(llvm):
+    from repro.distrib.worker import serve
+
+    mono, _tuner = tune(llvm, "monolithic")
+    config = BinTunerConfig(
+        max_iterations=16, ga=GAParameters(population_size=6, seed=9),
+        stall_window=12, pipeline="staged", executor="distributed",
+    )
+    tuner = BinTuner(llvm, BuildSpec(name="tiny", source=TINY_SOURCE), config)
+    engine = tuner.evaluation_engine()
+    coordinator = engine.mapper.coordinator
+    threads = [
+        threading.Thread(
+            target=serve,
+            kwargs=dict(connect=coordinator.address_string(), hard_exit=False,
+                        slots=2, heartbeat_interval=0.5),
+            daemon=True,
+        )
+        for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    coordinator.wait_for_workers(4, timeout=10)
+    try:
+        staged = tuner.run()
+    finally:
+        tuner.close()
+    assert staged.database.fingerprint() == mono.database.fingerprint()
+    assert staged.best_flags.sorted_names() == mono.best_flags.sorted_names()
