@@ -43,12 +43,18 @@ from repro.campaign.pool import SharedWorkerPool
 from repro.tuner.database import write_text_atomic
 from repro.tuner import BinTuner, BinTunerConfig, BuildSpec, EvaluationStats, TuningResult
 from repro.tuner.pipeline import DEFAULT_ARTIFACT_CACHE_SIZE, PIPELINES, ArtifactCache
+from repro.tuner.store import DEFAULT_STORE_MAX_BYTES
 from repro.workloads import benchmark, suite_benchmarks
 
 MANIFEST_VERSION = 1
 
 #: Subdirectory of the checkpoint dir holding the sharded database.
 DATABASE_DIR = "database"
+
+#: Default subdirectory of the checkpoint dir holding the artifact store —
+#: checkpoint resume is warm *by construction*: the same ``--checkpoint-dir``
+#: that replays the database also serves every compile from disk.
+STORE_DIR = "store"
 
 
 @dataclass(frozen=True)
@@ -116,6 +122,15 @@ class CampaignConfig:
     #: Bound (entries) of the campaign-wide artifact cache shared by every
     #: job's staged evaluator.
     artifact_cache_size: int = DEFAULT_ARTIFACT_CACHE_SIZE
+    #: Directory of the disk-backed artifact store behind the campaign cache
+    #: (:mod:`repro.tuner.store`).  ``None`` defaults to
+    #: ``checkpoint_dir/store`` when checkpointing is on, so a killed-and-
+    #: restarted campaign re-pays no compile or emulation it already did;
+    #: without a checkpoint dir the cache stays memory-only.  The path
+    #: travels to worker processes, so every local worker opens the store.
+    store_dir: Optional[Path] = None
+    #: Byte budget of the store's LRU garbage collection (``None``: unbounded).
+    store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES
     #: Seed later programs' GA populations with earlier programs' best flags.
     warm_start: bool = True
     #: At most this many prior bests are injected per program.
@@ -241,13 +256,42 @@ class Campaign:
         # rerun campaign (same process) can start warm.  Monolithic
         # campaigns have no stages to feed, so they hold no cache — even an
         # injected one — keeping ``artifact_cache_stats is None`` an honest
-        # "this campaign did not use artifacts" signal.
+        # "this campaign did not use artifacts" signal.  With a store dir
+        # (explicit, or defaulted under the checkpoint dir) the cache gains
+        # a disk-backed second tier, so a campaign restarted in a *fresh
+        # process* starts warm too.
+        self.store_dir = self._resolve_store_dir()
         if self.config.pipeline != "staged":
             self.artifact_cache: Optional[ArtifactCache] = None
         elif artifact_cache is not None:
             self.artifact_cache = artifact_cache
         else:
-            self.artifact_cache = ArtifactCache(self.config.artifact_cache_size)
+            self.artifact_cache = ArtifactCache(
+                self.config.artifact_cache_size
+            ).ensure_store(self.store_dir, self.config.store_max_bytes)
+
+    def _resolve_store_dir(self) -> Optional[Path]:
+        """The effective store directory (explicit, or under the checkpoint dir).
+
+        ``None`` for monolithic campaigns — they have no stages to feed —
+        and for unstored, uncheckpointed staged runs.  An *explicit*
+        ``store_dir`` on a monolithic campaign raises: silently dropping
+        requested persistence would surface as a mysteriously cold restart.
+        (The checkpoint-derived default is not a request, so it just stays
+        off.)
+        """
+        if self.config.pipeline != "staged":
+            if self.config.store_dir is not None:
+                raise ValueError(
+                    "store_dir requires pipeline='staged' (the monolithic "
+                    "closure has no stages to feed an artifact store)"
+                )
+            return None
+        if self.config.store_dir is not None:
+            return Path(self.config.store_dir)
+        if self.config.checkpoint_dir is not None:
+            return Path(self.config.checkpoint_dir) / STORE_DIR
+        return None
 
     @classmethod
     def from_suites(
@@ -365,6 +409,8 @@ class Campaign:
                 warm_start=warm,
                 pipeline=self.config.pipeline,
                 artifact_cache_size=self.config.artifact_cache_size,
+                store_dir=self.store_dir,
+                store_max_bytes=self.config.store_max_bytes,
             ),
             database=self.database.shard(job.family, job.program),
             mapper_factory=pool.mapper,
@@ -422,6 +468,9 @@ class Campaign:
         ``resume=False`` an existing checkpoint is *deleted* before anything
         runs: keeping a stale manifest around while fresh shards overwrite
         the database would poison a later resume with contradictory state.
+        The artifact store is deliberately *not* deleted by ``resume=False``:
+        its entries are content-addressed, so stale ones can never produce a
+        wrong answer — a fresh run merely starts warm.
         An injected ``pool`` (e.g. a distributed pool whose coordinator
         address the caller needed before any worker could connect) is used
         as-is and *not* closed — its lifetime belongs to the caller.

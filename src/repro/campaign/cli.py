@@ -5,7 +5,9 @@ Examples::
     # Tune the whole Coreutils suite under both compiler families
     python -m repro.campaign --suites coreutils --families llvm,gcc
 
-    # A quick resumable two-program campaign (kill it and rerun to resume)
+    # A quick resumable two-program campaign (kill it and rerun to resume;
+    # the artifact store under /tmp/campaign/store makes the restart warm:
+    # already-compiled configurations are read from disk, not recompiled)
     python -m repro.campaign --benchmarks 462.libquantum,429.mcf \\
         --families llvm --max-iterations 24 --checkpoint-dir /tmp/campaign
 
@@ -91,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--artifact-cache-size", type=int, default=None,
                         help="bound (entries) of the campaign-wide artifact "
                              "cache shared by staged evaluators")
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="disk-backed artifact store (the staged "
+                             "pipeline's persistent second tier): compiles "
+                             "and traces survive the process, so a restarted "
+                             "campaign starts warm.  Defaults to "
+                             "CHECKPOINT_DIR/store when --checkpoint-dir is "
+                             "given; incompatible with --pipeline monolithic")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        help="byte budget of the store's LRU garbage "
+                             "collection (default: 256 MiB)")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="enable per-generation checkpointing under this directory")
     parser.add_argument("--fresh", action="store_true",
@@ -108,6 +120,10 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
     pipeline_knobs = {}
     if args.artifact_cache_size is not None:
         pipeline_knobs["artifact_cache_size"] = args.artifact_cache_size
+    if args.store_dir is not None:
+        pipeline_knobs["store_dir"] = args.store_dir
+    if args.store_max_bytes is not None:
+        pipeline_knobs["store_max_bytes"] = args.store_max_bytes
     config = CampaignConfig(
         tuner=BinTunerConfig(
             max_iterations=args.max_iterations,
@@ -136,7 +152,18 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
 
 
 def run_main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.pipeline == "monolithic" and args.store_dir is not None:
+        # Silently dropping the requested persistence would be worse than
+        # refusing: the monolithic closure has no stages to feed a store.
+        parser.error("--store-dir requires --pipeline staged")
+    if args.store_max_bytes is not None and (
+        args.pipeline == "monolithic"
+        or (args.store_dir is None and args.checkpoint_dir is None)
+    ):
+        parser.error("--store-max-bytes requires an active store "
+                     "(--store-dir, or --checkpoint-dir with the staged pipeline)")
     campaign = _build_campaign(args)
     jobs = campaign.jobs
     if not jobs:
@@ -208,13 +235,22 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             line += (f"; stages compile {stats.compile_seconds:.1f}s / "
                      f"measure {stats.measure_seconds:.1f}s / "
                      f"score {stats.score_seconds:.1f}s")
+            if stats.artifact_store_hits:
+                line += (f"; {stats.artifact_store_hits} tier-2 (disk) hits "
+                         f"({stats.artifact_store_hit_ratio:.1%} of stage lookups)")
         print(line)
     if result.artifact_cache_stats is not None:
         cache = result.artifact_cache_stats
-        print(f"artifact cache: {cache['hits']} hits / {cache['misses']} misses "
+        print(f"artifact cache: {cache['hits']} memory hits / "
+              f"{cache['store_hits']} disk hits / {cache['misses']} misses "
               f"(hit ratio {cache['hit_ratio']:.1%}), "
               f"{cache['entries']}/{cache['max_entries']} entries, "
               f"{cache['evictions']} evictions")
+        store = cache.get("store")
+        if store is not None:
+            print(f"artifact store ({store['path']}): {store['entries']} entries "
+                  f"/ {store['bytes']} bytes, {store['hits']} hits, "
+                  f"{store['puts']} writes, {store['gc_evictions']} GC evictions")
     print(f"database fingerprint: {result.fingerprint()}")
     print(f"elapsed: {result.elapsed_seconds:.1f}s over {result.database.total_records()} records")
 
@@ -324,13 +360,17 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
     # program accrued (regenerated without re-running any tuning).
     pipeline_stats = _manifest_evaluation_stats(args.checkpoint_dir)
     if pipeline_stats is not None:
-        print(f"\npipeline stages (completed programs): "
-              f"compile {pipeline_stats.compile_seconds:.1f}s / "
-              f"measure {pipeline_stats.measure_seconds:.1f}s / "
-              f"score {pipeline_stats.score_seconds:.1f}s; "
-              f"artifact cache {pipeline_stats.artifact_hits} hits / "
-              f"{pipeline_stats.artifact_misses} misses "
-              f"(hit ratio {pipeline_stats.artifact_hit_ratio:.1%})")
+        line = (f"\npipeline stages (completed programs): "
+                f"compile {pipeline_stats.compile_seconds:.1f}s / "
+                f"measure {pipeline_stats.measure_seconds:.1f}s / "
+                f"score {pipeline_stats.score_seconds:.1f}s; "
+                f"artifact cache {pipeline_stats.artifact_hits} hits / "
+                f"{pipeline_stats.artifact_misses} misses "
+                f"(hit ratio {pipeline_stats.artifact_hit_ratio:.1%})")
+        if pipeline_stats.artifact_store_hits:
+            line += (f", {pipeline_stats.artifact_store_hits} served by the "
+                     f"disk store (tier 2)")
+        print(line)
 
     potency: Dict[str, Dict[str, float]] = {}
     for family in families:

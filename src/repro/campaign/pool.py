@@ -24,6 +24,12 @@ Determinism: every mapper returns results in submission order regardless of
 completion order (``Executor.map`` for the local pools, index-slotted
 replies for the distributed one), so the evaluation engine's bit-for-bit
 reproducibility guarantee carries over unchanged to every mode.
+
+Persistence: a staged evaluator's ``store_dir`` travels inside the pickle
+blob, and its ``__setstate__`` re-attaches the disk-backed artifact store
+(:mod:`repro.tuner.store`) on the worker side — so every process worker of
+a campaign opens the same store, and a freshly spawned worker consults the
+campaign's persisted compiles before paying for its own.
 """
 
 from __future__ import annotations

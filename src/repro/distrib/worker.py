@@ -27,7 +27,15 @@ fail at batch boundaries or the coordinator's timeout).
 own restarts: a refused connection or a dropped coordinator triggers an
 exponentially backed-off retry (a clean :class:`~repro.distrib.protocol.
 Shutdown` still exits), so a rebooted machine rejoins a running campaign
-without operator action.
+without operator action.  ``--store-dir`` gives the worker a *local*
+disk-backed artifact store (:mod:`repro.tuner.store`): staged evaluators
+are re-pointed at it as they arrive, so the compiles and traces this
+machine pays persist across batches, evaluator-cache evictions, and the
+reconnects above — a worker that rejoins is warm, not amnesiac.  Without
+the flag, a staged evaluator keeps whatever ``store_dir`` the orchestrator
+baked into the blob (correct for same-machine workers; remote machines
+should pass their own path, or ``--no-store`` to detach the tier so the
+orchestrator's path is never created on this machine).
 
 An evaluator exception is reported back as a :class:`~repro.distrib.
 protocol.BatchFailure` (programming errors must propagate to the campaign,
@@ -171,6 +179,9 @@ def serve(
     authkey=None,
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     on_registered: Optional[Callable[[int], None]] = None,
+    store_dir: Optional[str] = None,
+    store_max_bytes: Optional[int] = None,
+    no_store: bool = False,
 ) -> int:
     """Run one worker session until shutdown; returns a process exit status.
 
@@ -189,6 +200,16 @@ def serve(
     :data:`HANDSHAKE_FAILED_STATUS` on a failed handshake.
     ``on_registered`` fires with the assigned worker id right after the
     handshake — the reconnect loop uses it to reset its backoff.
+
+    ``store_dir`` points arriving staged evaluators at a *worker-local*
+    disk-backed artifact store (overriding any path baked into the blob by
+    the orchestrator, which may not exist on this machine): compiles and
+    traces this worker pays persist across batches, evaluator-cache
+    evictions, reconnects, and its own restarts.  ``store_max_bytes`` sizes
+    the local tier's GC budget for *this* machine's disk (``None`` keeps the
+    budget the orchestrator baked into the blob).  ``no_store`` detaches the
+    store instead, so an evaluator's baked-in orchestrator path is never
+    created or written on this machine at all.
     """
     if slots < 1:
         raise ValueError(f"slots must be >= 1, got {slots}")
@@ -252,6 +273,13 @@ def serve(
                     send_message(sock, EvaluatorMissing(message.evaluator_id))
                     continue
                 evaluator = pickle.loads(message.blob)
+                if store_dir is not None or no_store:
+                    attach = getattr(evaluator, "attach_store", None)
+                    if attach is not None:
+                        if no_store:
+                            attach(None)
+                        else:
+                            attach(store_dir, max_bytes=store_max_bytes)
                 while len(evaluators) >= cache_limit:
                     evaluators.pop(next(iter(evaluators)))
                 evaluators[message.evaluator_id] = evaluator
@@ -385,13 +413,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shared secret for the coordinator handshake "
                              "(default: $REPRO_DISTRIB_AUTHKEY; required when "
                              "the coordinator was started with one)")
+    parser.add_argument("--store-dir", type=str, default=None,
+                        help="worker-local disk-backed artifact store: "
+                             "compiles/traces this worker pays persist across "
+                             "batches, reconnects and restarts, so a "
+                             "rejoining worker starts warm")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        help="with --store-dir: byte budget of the local "
+                             "store's LRU garbage collection, sized for this "
+                             "machine's disk (default: the budget the "
+                             "orchestrator configured)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="detach any orchestrator-configured artifact "
+                             "store from arriving evaluators: no local "
+                             "persistence, and the orchestrator's store path "
+                             "is never created on this machine")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection log lines")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.no_store and args.store_dir is not None:
+        parser.error("--store-dir and --no-store are mutually exclusive")
+    if args.store_max_bytes is not None and args.store_dir is None:
+        parser.error("--store-max-bytes requires --store-dir")
     log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
     try:
         return run_worker(
@@ -406,6 +454,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             log=log,
             authkey=args.authkey,
             heartbeat_interval=args.heartbeat,
+            store_dir=args.store_dir,
+            store_max_bytes=args.store_max_bytes,
+            no_store=args.no_store,
         )
     except ConnectionRefusedError:
         print(f"no coordinator listening at {args.connect}", file=sys.stderr)

@@ -105,37 +105,65 @@ def run_pipeline_comparison(
     family: str = "llvm",
     benchmarks: Sequence[str] = ("462.libquantum", "429.mcf"),
     config: Optional[BinTunerConfig] = None,
+    store_dir: Optional[object] = None,
 ) -> Dict[str, object]:
     """Staged vs monolithic pipeline on a small warm-startable campaign.
 
-    Three runs of the same seeded campaign: monolithic (the legacy opaque
+    Four runs of the same seeded campaign: monolithic (the legacy opaque
     closure), staged cold (stage-split evaluation populating one shared
-    :class:`ArtifactCache`), and staged *warm* — the same campaign rerun
-    against the populated cache, the shape of a re-scoring or warm-started
-    rerun.  Reports wall clocks, the staged run's per-stage time split,
-    artifact-cache hit ratios, and the determinism verdict: all three
-    database fingerprints must be identical.
+    :class:`ArtifactCache` backed by a disk store), staged *warm* — the same
+    campaign rerun against the populated in-memory cache, the shape of a
+    re-scoring or warm-started rerun — and staged *warm restart*: a fresh
+    cache over the same disk store, the shape of a killed-and-restarted
+    campaign whose only warmth is tier 2.  Reports wall clocks, the staged
+    run's per-stage time split, tier-1/tier-2 artifact hit ratios, and the
+    determinism verdict: all four database fingerprints must be identical.
+
+    ``store_dir`` defaults to a temporary directory cleaned up on return.
     """
+    import shutil
+    import tempfile
+
     base = config or BinTunerConfig(max_iterations=40, stall_window=24)
     jobs = [ProgramJob(family, name) for name in benchmarks]
 
-    def run(pipeline: str, cache: Optional[ArtifactCache] = None):
+    def run(pipeline: str, cache: Optional[ArtifactCache] = None, store=None):
         campaign = Campaign(
             jobs,
-            CampaignConfig(tuner=base, pipeline=pipeline, warm_start=True),
+            CampaignConfig(
+                tuner=base, pipeline=pipeline, warm_start=True, store_dir=store
+            ),
             artifact_cache=cache,
         )
         started = time.perf_counter()
         result = campaign.run()
         return result, time.perf_counter() - started
 
-    monolithic, monolithic_seconds = run("monolithic")
-    cache = ArtifactCache(8192)
-    cold, cold_seconds = run("staged", cache)
-    warm, warm_seconds = run("staged", cache)
+    own_store = store_dir is None
+    if own_store:
+        store_dir = tempfile.mkdtemp(prefix="repro-pipeline-store-")
+    try:
+        monolithic, monolithic_seconds = run("monolithic")
+        cache = ArtifactCache(8192)
+        cold, cold_seconds = run("staged", cache, store_dir)
+        warm, warm_seconds = run("staged", cache, store_dir)
+        # The restart: a fresh in-memory cache (a new process would have
+        # nothing else) over the same on-disk store.
+        restart_cache = ArtifactCache(8192)
+        restart, restart_seconds = run("staged", restart_cache, store_dir)
+        # Snapshot every stat that scans the store directory before the
+        # temp dir is deleted below.
+        store_stats = (
+            restart_cache.store.stats() if restart_cache.store is not None else None
+        )
+        cache_stats = cache.stats()
+    finally:
+        if own_store:
+            shutil.rmtree(store_dir, ignore_errors=True)
 
     cold_stats = cold.evaluation_stats()
     warm_stats = warm.evaluation_stats()
+    restart_stats = restart.evaluation_stats()
     return {
         "compiler": family,
         "benchmarks": list(benchmarks),
@@ -143,8 +171,13 @@ def run_pipeline_comparison(
         "staged_seconds": cold_seconds,
         "warm_rerun_seconds": warm_seconds,
         "warm_rerun_speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+        "warm_restart_seconds": restart_seconds,
+        "warm_restart_speedup": (
+            cold_seconds / restart_seconds if restart_seconds else 0.0
+        ),
         "identical_fingerprints": (
-            monolithic.fingerprint() == cold.fingerprint() == warm.fingerprint()
+            monolithic.fingerprint() == cold.fingerprint()
+            == warm.fingerprint() == restart.fingerprint()
         ),
         "stage_seconds": {
             "compile": cold_stats.compile_seconds,
@@ -155,5 +188,9 @@ def run_pipeline_comparison(
         "cold_artifact_hit_ratio": cold_stats.artifact_hit_ratio,
         "warm_artifact_hits": warm_stats.artifact_hits,
         "warm_artifact_hit_ratio": warm_stats.artifact_hit_ratio,
-        "artifact_cache": cache.stats(),
+        "restart_tier2_hits": restart_stats.artifact_store_hits,
+        "restart_tier2_hit_ratio": restart_stats.artifact_store_hit_ratio,
+        "restart_artifact_misses": restart_stats.artifact_misses,
+        "artifact_cache": cache_stats,
+        "artifact_store": store_stats,
     }

@@ -15,6 +15,11 @@ This is the paper's primary contribution (§4).  The package provides:
   measure and score as first-class stages over a content-addressed
   :class:`~repro.tuner.pipeline.ArtifactCache`, with the compile lane
   overlapping emulation inside each worker;
+* :mod:`repro.tuner.store` — the disk-backed
+  :class:`~repro.tuner.store.ArtifactStore`, the artifact cache's
+  persistent second tier: atomic content-addressed entries with digest
+  verification and size-budgeted LRU garbage collection, so restarted
+  runs start warm;
 * :mod:`repro.tuner.tuner` — the :class:`BinTuner` orchestrator (compiler
   interface + fitness function + termination criteria) and the build-spec
   ("makefile analyzer") front door;
@@ -51,7 +56,14 @@ from repro.tuner.pipeline import (
     ScoreStage,
     StagedCandidateEvaluator,
     TraceArtifact,
+    reset_shared_artifact_caches,
     shared_artifact_cache,
+)
+from repro.tuner.store import (
+    DEFAULT_STORE_MAX_BYTES,
+    ArtifactStore,
+    persistent_store,
+    reset_persistent_stores,
 )
 from repro.tuner.tuner import (
     BinTuner,
@@ -83,12 +95,17 @@ __all__ = [
     "make_mapper",
     "next_evaluator_id",
     "ArtifactCache",
+    "ArtifactStore",
     "CompiledArtifact",
     "CompileStage",
+    "DEFAULT_STORE_MAX_BYTES",
     "MeasureStage",
     "ScoreStage",
     "StagedCandidateEvaluator",
     "TraceArtifact",
+    "persistent_store",
+    "reset_persistent_stores",
+    "reset_shared_artifact_caches",
     "shared_artifact_cache",
     "BinTuner",
     "BinTunerConfig",

@@ -66,6 +66,9 @@ class CandidateResult:
     score_seconds: float = 0.0
     artifact_hits: int = 0
     artifact_misses: int = 0
+    #: Of ``artifact_hits``, how many were served by the disk-backed store
+    #: (tier 2) rather than the in-memory LRU (tier 1).
+    artifact_store_hits: int = 0
     staged: bool = False
 
 
@@ -457,6 +460,9 @@ class EvaluationStats:
     score_seconds: float = 0.0
     artifact_hits: int = 0
     artifact_misses: int = 0
+    #: Tier-2 share of ``artifact_hits``: artifacts served by the disk-backed
+    #: store instead of the in-memory LRU — the "restarted warm" signal.
+    artifact_store_hits: int = 0
 
     def since(self, baseline: "EvaluationStats") -> "EvaluationStats":
         """Counters accrued after ``baseline`` was snapshot (per-run stats)."""
@@ -473,6 +479,7 @@ class EvaluationStats:
             score_seconds=self.score_seconds - baseline.score_seconds,
             artifact_hits=self.artifact_hits - baseline.artifact_hits,
             artifact_misses=self.artifact_misses - baseline.artifact_misses,
+            artifact_store_hits=self.artifact_store_hits - baseline.artifact_store_hits,
         )
 
     def add(self, other: "EvaluationStats") -> "EvaluationStats":
@@ -490,6 +497,7 @@ class EvaluationStats:
             score_seconds=self.score_seconds + other.score_seconds,
             artifact_hits=self.artifact_hits + other.artifact_hits,
             artifact_misses=self.artifact_misses + other.artifact_misses,
+            artifact_store_hits=self.artifact_store_hits + other.artifact_store_hits,
         )
 
     @property
@@ -504,6 +512,12 @@ class EvaluationStats:
     def artifact_hit_ratio(self) -> float:
         total = self.artifact_hits + self.artifact_misses
         return self.artifact_hits / total if total else 0.0
+
+    @property
+    def artifact_store_hit_ratio(self) -> float:
+        """Share of stage lookups served by the *disk* tier specifically."""
+        total = self.artifact_hits + self.artifact_misses
+        return self.artifact_store_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe counters (campaign manifests, the pipeline bench)."""
@@ -530,6 +544,7 @@ class EvaluationStats:
             "batches": self.batches,
             "artifact hits": self.artifact_hits,
             "artifact hit ratio": round(self.artifact_hit_ratio, 3),
+            "tier-2 hits": self.artifact_store_hits,
         }
 
 
@@ -601,6 +616,7 @@ class EvaluationEngine:
                 self.stats.score_seconds += result.score_seconds
                 self.stats.artifact_hits += result.artifact_hits
                 self.stats.artifact_misses += result.artifact_misses
+                self.stats.artifact_store_hits += result.artifact_store_hits
             if not result.valid:
                 self.stats.invalid += 1
             self.database.record(

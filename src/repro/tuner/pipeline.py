@@ -25,7 +25,12 @@ This module makes the stages first-class, cacheable units:
   programs, and whole campaigns: a campaign injects one campaign-wide
   cache, worker processes adopt a process-shared one
   (:func:`shared_artifact_cache`), and a standalone evaluator defaults to
-  a private one.
+  a private one.  An optional second tier — the disk-backed
+  :class:`~repro.tuner.store.ArtifactStore` — sits behind the in-memory
+  LRU: a memory miss consults the store before anything is compiled or
+  emulated, and every new artifact is written through, so a *restarted*
+  process (a fresh campaign, a respawned worker, a reconnected
+  distributed slot) starts warm instead of re-paying its history.
 
 :class:`StagedCandidateEvaluator` composes the stages behind the exact
 ``FlagKey -> CandidateResult`` contract of the monolithic evaluator —
@@ -42,6 +47,7 @@ import hashlib
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from threading import Lock
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,6 +62,7 @@ from repro.tuner.evaluation import (
     FlagKey,
     TunerCandidateEvaluator,
 )
+from repro.tuner.store import DEFAULT_STORE_MAX_BYTES, ArtifactStore, persistent_store
 
 #: Default bound of an artifact cache.  Artifacts are small (a linked image
 #: plus an integer), but campaigns evaluate thousands of candidates; the
@@ -64,6 +71,10 @@ DEFAULT_ARTIFACT_CACHE_SIZE = 1024
 
 #: The two pipeline modes ``BinTunerConfig.pipeline`` accepts.
 PIPELINES = ("staged", "monolithic")
+
+
+#: :meth:`ArtifactCache.lookup` tiers: a miss, the in-memory LRU, the disk store.
+MISS_TIER, MEMORY_TIER, STORE_TIER = 0, 1, 2
 
 
 class ArtifactCache:
@@ -75,38 +86,93 @@ class ArtifactCache:
     compilers: equal keys imply equal artifacts.  All operations are
     thread-safe — the compile lane and the measure/score lane of one
     evaluator, and every evaluator of a thread pool, share one instance.
+
+    ``store`` attaches a disk-backed second tier
+    (:class:`~repro.tuner.store.ArtifactStore`): a memory miss falls
+    through to the store (a hit is promoted back into memory), and every
+    :meth:`put` writes through, so artifacts outlive the process.  Memory
+    eviction never touches the store — the LRU bound trades memory, the
+    store's byte budget trades disk, independently.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_ARTIFACT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_ARTIFACT_CACHE_SIZE,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self.store = store
         self.hits = 0
+        self.store_hits = 0
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self._lock = Lock()
 
-    def get(self, key: Tuple) -> Optional[object]:
+    def lookup(self, key: Tuple) -> Tuple[Optional[object], int]:
+        """``(value, tier)``: tier-1 memory, tier-2 disk, or a miss.
+
+        Disk reads happen outside the memory lock — the store has its own
+        synchronization, and a store read under this lock would stall the
+        other pipeline lane for the duration of an unpickle.
+        """
         with self._lock:
-            try:
-                value = self._entries[key]
-            except KeyError:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key], MEMORY_TIER
+        store = self.store
+        if store is not None:
+            value = store.get(key)
+            if value is not None:
+                # Promote into memory without writing back to the store
+                # (the value came *from* there).
+                with self._lock:
+                    self.store_hits += 1
+                    self._insert(key, value)
+                return value, STORE_TIER
+        with self._lock:
+            self.misses += 1
+        return None, MISS_TIER
+
+    def get(self, key: Tuple) -> Optional[object]:
+        return self.lookup(key)[0]
+
+    def ensure_store(
+        self,
+        store_dir,
+        max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES,
+    ) -> "ArtifactCache":
+        """Attach the persistent store for ``store_dir`` if none is attached.
+
+        The single attachment policy point for every layer (tuner, staged
+        evaluator, campaign, shared worker caches): a no-op when
+        ``store_dir`` is ``None`` or a store is already attached — an
+        injected cache's existing tier always wins.  Returns ``self`` for
+        construction chaining.
+        """
+        if store_dir is not None and self.store is None:
+            self.store = persistent_store(store_dir, max_bytes=max_bytes)
+        return self
+
+    def _insert(self, key: Tuple, value: object) -> None:
+        """Memory-tier insertion + LRU eviction; caller holds the lock."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     def put(self, key: Tuple, value: object) -> None:
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._insert(key, value)
+        if self.store is not None:
+            self.store.put(key, value)
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the disk store, if any, is untouched)."""
         with self._lock:
             self._entries.clear()
 
@@ -116,8 +182,8 @@ class ArtifactCache:
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self.hits + self.store_hits + self.misses
+        return (self.hits + self.store_hits) / total if total else 0.0
 
     def stats(self) -> Dict[str, object]:
         """Counters for campaign summaries and the pipeline bench."""
@@ -125,34 +191,53 @@ class ArtifactCache:
             "entries": len(self),
             "max_entries": self.max_entries,
             "hits": self.hits,
+            "store_hits": self.store_hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_ratio": round(self.hit_ratio, 4),
+            "store": self.store.stats() if self.store is not None else None,
         }
 
 
-#: Process-global cache used by *worker-side* evaluators (which arrive as
+#: Process-global caches used by *worker-side* evaluators (which arrive as
 #: pickle blobs with the cache field stripped): every program a worker
-#: serves shares it, so identical configurations are reused across
-#: evaluators for the life of the worker.  In the orchestrating process the
-#: cache is evaluator-private unless a tuner or campaign injects a shared
-#: one — cache lifetime is an explicit choice there, not ambient state.
-_SHARED_CACHE: Optional[ArtifactCache] = None
+#: serves shares one, so identical configurations are reused across
+#: evaluators for the life of the worker.  Keyed by the evaluator's
+#: ``store_dir`` (``None`` for the purely in-memory cache) so evaluators
+#: backed by the same disk store share one memory tier in front of it.  In
+#: the orchestrating process the cache is evaluator-private unless a tuner
+#: or campaign injects a shared one — cache lifetime is an explicit choice
+#: there, not ambient state.
+_SHARED_CACHES: Dict[Optional[str], ArtifactCache] = {}
 _SHARED_CACHE_LOCK = Lock()
 
 
-def shared_artifact_cache(max_entries: int = DEFAULT_ARTIFACT_CACHE_SIZE) -> ArtifactCache:
-    """The process-wide artifact cache (created on first use).
+def shared_artifact_cache(
+    max_entries: int = DEFAULT_ARTIFACT_CACHE_SIZE,
+    store_dir=None,
+    store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES,
+) -> ArtifactCache:
+    """The process-wide artifact cache for ``store_dir`` (created on first use).
 
-    ``max_entries`` only sizes the cache at creation; later callers share
-    the existing instance unchanged (growing it for one evaluator would
-    silently grow it for every other).
+    ``max_entries`` / ``store_max_bytes`` only size the cache and its disk
+    tier at creation; later callers share the existing instances unchanged
+    (growing them for one evaluator would silently grow them for every
+    other).
     """
-    global _SHARED_CACHE
+    key = str(Path(store_dir).resolve()) if store_dir is not None else None
     with _SHARED_CACHE_LOCK:
-        if _SHARED_CACHE is None:
-            _SHARED_CACHE = ArtifactCache(max_entries)
-        return _SHARED_CACHE
+        cache = _SHARED_CACHES.get(key)
+        if cache is None:
+            cache = ArtifactCache(max_entries).ensure_store(store_dir, store_max_bytes)
+            _SHARED_CACHES[key] = cache
+        return cache
+
+
+def reset_shared_artifact_caches() -> None:
+    """Forget every process-global cache (test hook: simulates the memory
+    state of a freshly started process; disk stores are untouched)."""
+    with _SHARED_CACHE_LOCK:
+        _SHARED_CACHES.clear()
 
 
 @dataclass(frozen=True)
@@ -180,11 +265,17 @@ class TraceArtifact:
 
 @dataclass(frozen=True)
 class StageOutcome:
-    """One stage execution: the artifact, its wall clock, and cache provenance."""
+    """One stage execution: the artifact, its wall clock, and cache provenance.
+
+    ``from_store`` marks a hit served by the disk tier (``cached`` is True
+    for both tiers) — the counter behind the tier-2 accounting in
+    :class:`~repro.tuner.evaluation.EvaluationStats`.
+    """
 
     value: object
     seconds: float
     cached: bool
+    from_store: bool = False
 
 
 class CompileStage:
@@ -230,7 +321,11 @@ class CompileStage:
         return self._key_prefix + (tuple(flag_key),)
 
     def peek(self, flag_key: FlagKey) -> Optional[CompiledArtifact]:
-        """Cache lookup without compiling (the best-image fast path)."""
+        """Cache lookup without compiling (the best-image fast path).
+
+        Consults both tiers: a restarted campaign serves even its final
+        best-candidate build from the disk store.
+        """
         artifact = self.cache.get(self.key(flag_key))
         return artifact if isinstance(artifact, CompiledArtifact) else None
 
@@ -244,9 +339,11 @@ class CompileStage:
         if check_constraints:
             flags = self._constraints.check(flags)
         cache_key = self.key(flag_key)
-        artifact = self.cache.get(cache_key)
+        artifact, tier = self.cache.lookup(cache_key)
         if artifact is not None:
-            return StageOutcome(artifact, time.perf_counter() - started, True)
+            return StageOutcome(
+                artifact, time.perf_counter() - started, True, tier == STORE_TIER
+            )
         image = self.compiler.compile(self.source, flags, name=self.program).image
         compressed = len(self._compress(image.text)) if self._compress else None
         artifact = CompiledArtifact(image, compressed)
@@ -282,9 +379,11 @@ class MeasureStage:
     def run(self, image: BinaryImage) -> StageOutcome:
         started = time.perf_counter()
         cache_key = self.key(image)
-        artifact = self.cache.get(cache_key)
+        artifact, tier = self.cache.lookup(cache_key)
         if artifact is not None:
-            return StageOutcome(artifact, time.perf_counter() - started, True)
+            return StageOutcome(
+                artifact, time.perf_counter() - started, True, tier == STORE_TIER
+            )
         result = run_program(
             image, args=self.arguments, inputs=self.inputs, max_steps=self.max_steps
         )
@@ -333,13 +432,25 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
     cache itself never crosses a process boundary: pickling strips it (like
     the fitness state), and the worker side falls back to its process-shared
     cache, so every worker accumulates reusable artifacts across programs.
+
+    ``store_dir`` *does* cross the boundary: it is plain configuration, so a
+    freshly spawned process-pool worker (or a remote worker on the same
+    machine) rehydrates with the same disk tier attached and consults it
+    before compiling anything — a restarted worker is warm immediately.
+    A distributed worker on a machine where that path is wrong overrides it
+    with its own local tier via :meth:`attach_store`
+    (``repro.distrib.worker --store-dir``).
     """
 
     cache_size: int = DEFAULT_ARTIFACT_CACHE_SIZE
     artifact_cache: Optional[ArtifactCache] = None
+    store_dir: Optional[str] = None
+    store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES
 
     def __post_init__(self) -> None:
         super().__post_init__()
+        if self.store_dir is not None:
+            self.store_dir = str(self.store_dir)  # Path-friendly, pickle-clean
         self._compile_stage: Optional[CompileStage] = None
         self._measure_stage: Optional[MeasureStage] = None
         self._score_stage: Optional[ScoreStage] = None
@@ -358,15 +469,49 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
         self.__dict__.update(state)
         self._stage_lock = Lock()
         # Worker side of a pickle round trip: adopt the process-shared cache
-        # so every program this worker serves reuses artifacts.
-        self.artifact_cache = shared_artifact_cache(self.cache_size)
+        # (keyed by the disk store, when configured) so every program this
+        # worker serves reuses artifacts — and, with a store, so a *fresh*
+        # worker process starts warm from disk instead of recompiling.
+        self.artifact_cache = shared_artifact_cache(
+            self.cache_size,
+            store_dir=self.store_dir,
+            store_max_bytes=self.store_max_bytes,
+        )
+
+    def attach_store(self, store_dir, max_bytes: Optional[int] = None) -> None:
+        """Re-point this evaluator at the disk store under ``store_dir``.
+
+        The distributed worker's ``--store-dir`` override: the orchestrator's
+        path travels in the evaluator blob but may not exist on a remote
+        machine, so the worker substitutes its own local tier right after
+        unpickling, before any candidate is evaluated.  ``store_dir=None``
+        detaches the disk tier entirely (the worker's ``--no-store``): the
+        evaluator falls back to the plain in-memory shared cache and never
+        touches the orchestrator's foreign path.  Built stages are discarded
+        (they captured the old cache) and rebuilt lazily.
+        """
+        self.store_dir = str(store_dir) if store_dir is not None else None
+        if max_bytes is not None:
+            self.store_max_bytes = max_bytes
+        with self._stage_lock:
+            self._compile_stage = None
+            self._measure_stage = None
+            self._score_stage = None
+        self.artifact_cache = shared_artifact_cache(
+            self.cache_size,
+            store_dir=self.store_dir,
+            store_max_bytes=self.store_max_bytes,
+        )
 
     # -- stage construction -------------------------------------------------------
 
     def cache(self) -> ArtifactCache:
         if self.artifact_cache is None:
             self.artifact_cache = ArtifactCache(self.cache_size)
-        return self.artifact_cache
+        # An injected cache (e.g. the campaign-wide one) gains the
+        # configured disk tier: content addressing makes the attachment
+        # safe, and every evaluator sharing the cache shares it.
+        return self.artifact_cache.ensure_store(self.store_dir, self.store_max_bytes)
 
     def _ensure_stages(self) -> Tuple[CompileStage, Optional[MeasureStage], ScoreStage]:
         # Thread mappers run evaluate_batch concurrently on one shared
@@ -427,12 +572,14 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
         artifact: CompiledArtifact = outcome.value
         measure_seconds = 0.0
         measure_cached = False
+        measure_from_store = False
         measured = False
         try:
             if measure_stage is not None:
                 trace_outcome = measure_stage.run(artifact.image)
                 measure_seconds = trace_outcome.seconds
                 measure_cached = trace_outcome.cached
+                measure_from_store = trace_outcome.from_store
                 measured = True
                 if trace_outcome.value.behaviour != self.baseline_behaviour:
                     raise CompilationError("tuned binary changed observable behaviour")
@@ -444,6 +591,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
                 measure_seconds=measure_seconds,
                 artifact_hits=int(outcome.cached) + int(measure_cached),
                 artifact_misses=int(not outcome.cached) + int(measured and not measure_cached),
+                artifact_store_hits=int(outcome.from_store) + int(measure_from_store),
             )
         return CandidateResult(
             fitness=score_outcome.value,
@@ -456,6 +604,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
             score_seconds=score_outcome.seconds,
             artifact_hits=int(outcome.cached) + int(measure_cached),
             artifact_misses=int(not outcome.cached) + int(measured and not measure_cached),
+            artifact_store_hits=int(outcome.from_store) + int(measure_from_store),
             staged=True,
         )
 
@@ -466,6 +615,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
         measure_seconds: float = 0.0,
         artifact_hits: int = 0,
         artifact_misses: int = 0,
+        artifact_store_hits: int = 0,
     ) -> CandidateResult:
         return CandidateResult(
             fitness=self.invalid_fitness,
@@ -477,6 +627,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
             measure_seconds=measure_seconds,
             artifact_hits=artifact_hits,
             artifact_misses=artifact_misses,
+            artifact_store_hits=artifact_store_hits,
             staged=True,
         )
 

@@ -36,8 +36,11 @@ from repro.tuner.pipeline import (
     DEFAULT_ARTIFACT_CACHE_SIZE,
     PIPELINES,
     ArtifactCache,
+    CompileStage,
+    MeasureStage,
     StagedCandidateEvaluator,
 )
+from repro.tuner.store import DEFAULT_STORE_MAX_BYTES
 from repro.tuner.search import GAParameters, GeneticAlgorithm, HillClimber, RandomSearch
 
 
@@ -125,6 +128,15 @@ class BinTunerConfig:
     #: Only sizes a cache this tuner creates; an injected or process-shared
     #: cache keeps its own bound.
     artifact_cache_size: int = DEFAULT_ARTIFACT_CACHE_SIZE
+    #: Directory of the disk-backed artifact store — the artifact cache's
+    #: persistent second tier (:mod:`repro.tuner.store`).  ``None`` (the
+    #: default) keeps the cache memory-only; with a path, compile and trace
+    #: artifacts survive the process, so a restarted run starts warm.  The
+    #: path travels to worker processes with the evaluator, so every local
+    #: worker opens the same store.
+    store_dir: Optional[Path] = None
+    #: Byte budget of the store's LRU garbage collection (``None``: unbounded).
+    store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES
 
 
 @dataclass
@@ -184,13 +196,55 @@ class BinTuner:
 
     # -- baseline -------------------------------------------------------------------
 
+    def _staged_cache(self) -> Optional[ArtifactCache]:
+        """The artifact cache every staged path of this tuner shares.
+
+        The campaign-injected cache when there is one; otherwise built here
+        (with the configured disk store attached) so the baseline build and
+        the candidate evaluator reuse one cache instead of two.
+        """
+        if self.config.pipeline != "staged":
+            return None
+        if self._artifact_cache is None:
+            self._artifact_cache = ArtifactCache(self.config.artifact_cache_size)
+        return self._artifact_cache.ensure_store(
+            self.config.store_dir, self.config.store_max_bytes
+        )
+
     def baseline_image(self) -> BinaryImage:
-        """The O0 build every candidate is measured against (§5.1)."""
+        """The O0 build every candidate is measured against (§5.1).
+
+        On the staged pipeline the baseline goes through the compile/measure
+        stages like any candidate, so its image and trace are content-
+        addressed cache entries too — a restarted campaign with a disk store
+        re-pays *nothing*, baselines included.
+        """
         if self._baseline is None:
-            result = self.compiler.compile_level(self.spec.source, "O0", name=self.spec.name)
-            self._baseline = result.image
-            if self.config.require_functional_correctness and self.spec.check_output:
-                self._baseline_behaviour = self._behaviour(self._baseline)
+            cache = self._staged_cache()
+            if cache is not None:
+                stage = CompileStage(
+                    self.compiler, self.spec.source, self.spec.name, cache,
+                    compressor=None,
+                )
+                key = tuple(self.compiler.preset("O0").sorted_names())
+                # The preset needs no constraint check, exactly like the
+                # direct compile_level call this replaces.
+                self._baseline = stage.run(key, check_constraints=False).value.image
+                if self.config.require_functional_correctness and self.spec.check_output:
+                    measure = MeasureStage(
+                        self.spec.arguments,
+                        self.spec.inputs,
+                        self.config.max_emulation_steps,
+                        cache,
+                    )
+                    self._baseline_behaviour = measure.run(self._baseline).value.behaviour
+            else:
+                result = self.compiler.compile_level(
+                    self.spec.source, "O0", name=self.spec.name
+                )
+                self._baseline = result.image
+                if self.config.require_functional_correctness and self.spec.check_output:
+                    self._baseline_behaviour = self._behaviour(self._baseline)
         return self._baseline
 
     def _behaviour(self, image: BinaryImage):
@@ -228,7 +282,12 @@ class BinTuner:
             if self.config.pipeline == "staged":
                 self._evaluator = StagedCandidateEvaluator(
                     cache_size=self.config.artifact_cache_size,
-                    artifact_cache=self._artifact_cache,
+                    artifact_cache=self._staged_cache(),
+                    store_dir=(
+                        str(self.config.store_dir)
+                        if self.config.store_dir is not None else None
+                    ),
+                    store_max_bytes=self.config.store_max_bytes,
                     **common,
                 )
             else:

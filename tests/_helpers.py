@@ -1,0 +1,32 @@
+"""Shared test helpers (importable, unlike conftest: ``benchmarks/`` has its
+own conftest.py that wins the ``conftest`` module name in full-repo runs)."""
+
+from __future__ import annotations
+
+import socket
+
+
+def fresh_process_state() -> None:
+    """Forget every process-global artifact cache and store instance.
+
+    A freshly started interpreter holds no in-memory artifact state; this
+    puts the test process in the same position, so that any warmth a
+    subsequent run shows can only have come from the disk-backed store.
+    Shared by the restart-warmth tests across modules — a new process-global
+    registry must be added here, once, to keep all of them honest.
+    """
+    from repro.tuner import reset_persistent_stores, reset_shared_artifact_caches
+
+    reset_shared_artifact_caches()
+    reset_persistent_stores()
+
+
+def loopback_available() -> bool:
+    """Whether this sandbox can bind AF_INET loopback (distrib test gate)."""
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False

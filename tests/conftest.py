@@ -1,4 +1,4 @@
-"""Shared fixtures.
+"""Shared fixtures (importable helpers live in ``_helpers.py``).
 
 Compilation is the expensive operation, so compiled images and recovered
 programs are session-scoped and reused across test modules.

@@ -10,14 +10,20 @@ The load-bearing guarantees:
 * the tuning-database JSON round-trip preserves ``started_at`` and tolerates
   unknown keys (checkpoints must survive schema growth);
 * cross-program warm starts actually inject earlier bests into later
-  programs' initial populations, deterministically.
+  programs' initial populations, deterministically;
+* a campaign restarted in a fresh process with the same ``--store-dir``
+  performs zero redundant compiles for previously seen configurations and
+  converges to a database fingerprint identical to an uninterrupted run,
+  on the serial, process, and distributed executors.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
+from _helpers import fresh_process_state, loopback_available
 
 from repro.campaign import (
     Campaign,
@@ -26,6 +32,7 @@ from repro.campaign import (
     ProgramJob,
     SharedWorkerPool,
 )
+from repro.campaign.campaign import STORE_DIR
 from repro.tuner import (
     BinTuner,
     BinTunerConfig,
@@ -60,7 +67,7 @@ def tiny_spec(job: ProgramJob) -> BuildSpec:
     return BuildSpec(name=job.program, source=SOURCES[job.program])
 
 
-def tiny_config(checkpoint_dir=None, workers=1, warm_start=True) -> CampaignConfig:
+def tiny_config(checkpoint_dir=None, workers=1, warm_start=True, **config_kwargs) -> CampaignConfig:
     return CampaignConfig(
         tuner=BinTunerConfig(
             max_iterations=16, ga=GAParameters(population_size=6, seed=9), stall_window=12
@@ -69,12 +76,18 @@ def tiny_config(checkpoint_dir=None, workers=1, warm_start=True) -> CampaignConf
         workers=workers,
         warm_start=warm_start,
         checkpoint_dir=checkpoint_dir,
+        **config_kwargs,
     )
 
 
-def run_campaign(checkpoint_dir=None, workers=1, warm_start=True, **run_kwargs):
-    campaign = Campaign(JOBS, tiny_config(checkpoint_dir, workers, warm_start),
-                        spec_provider=tiny_spec)
+def run_campaign(checkpoint_dir=None, workers=1, warm_start=True,
+                 compiler_provider=None, config_kwargs=None, **run_kwargs):
+    campaign = Campaign(
+        JOBS,
+        tiny_config(checkpoint_dir, workers, warm_start, **(config_kwargs or {})),
+        spec_provider=tiny_spec,
+        **({"compiler_provider": compiler_provider} if compiler_provider else {}),
+    )
     return campaign.run(**run_kwargs)
 
 
@@ -300,6 +313,162 @@ class TestCheckpointResume:
         self._assert_identical(resumed, uninterrupted)
 
 
+def counting_compiler_provider(log):
+    """A compiler provider whose ``compile`` records every build it performs
+    (the compile-count probe behind the zero-redundant-compiles assertions).
+    Serial-executor only: the instance-level closure does not pickle."""
+    from repro.compilers import SimLLVM
+
+    def provider(family):
+        assert family == "llvm"
+        compiler = SimLLVM()
+        original = compiler.compile
+
+        def counting_compile(source, flags=None, name="program"):
+            log.append((name, tuple(flags.sorted_names()) if flags is not None else ()))
+            return original(source, flags, name=name)
+
+        compiler.compile = counting_compile
+        return compiler
+
+    return provider
+
+
+class TestStoreRestartWarmth:
+    def test_store_defaults_under_checkpoint_dir(self, tmp_path):
+        """``--checkpoint-dir`` implies ``checkpoint_dir/store``: checkpoint
+        resume is warm by construction."""
+        ckpt = tmp_path / "ckpt"
+        campaign = Campaign(JOBS, tiny_config(ckpt), spec_provider=tiny_spec)
+        assert campaign.store_dir == ckpt / STORE_DIR
+        campaign.run()
+        assert any((ckpt / STORE_DIR / "objects").iterdir())
+        # No checkpointing, no store dir; monolithic never has one.
+        assert Campaign(JOBS, tiny_config(), spec_provider=tiny_spec).store_dir is None
+        assert Campaign(
+            JOBS, tiny_config(ckpt, pipeline="monolithic"), spec_provider=tiny_spec
+        ).store_dir is None
+
+    def test_fresh_process_restart_compiles_nothing(self, tmp_path):
+        """The headline: restart the whole campaign in a 'fresh process'
+        with the same store — zero compiles (baselines included), identical
+        fingerprint."""
+        fresh_process_state()
+        cold = run_campaign(checkpoint_dir=tmp_path / "cold-ckpt")
+        fresh_process_state()
+        compiles = []
+        restarted = run_campaign(
+            checkpoint_dir=tmp_path / "restart-ckpt",
+            config_kwargs={"store_dir": tmp_path / "cold-ckpt" / STORE_DIR},
+            compiler_provider=counting_compiler_provider(compiles),
+        )
+        assert restarted.fingerprint() == cold.fingerprint()
+        assert compiles == []
+        stats = restarted.evaluation_stats()
+        assert stats.evaluated == cold.evaluation_stats().evaluated
+        assert stats.artifact_misses == 0
+        assert stats.artifact_store_hits > 0
+
+    def test_generation_level_restart_replays_from_disk(self, tmp_path):
+        """Kill mid-program: the lost generations are re-*evaluated* on
+        resume (they are not in the checkpointed shard), but with the store
+        they are never re-*compiled* — and the database still converges
+        bit-for-bit to the uninterrupted run's."""
+        fresh_process_state()
+        uninterrupted = run_campaign(checkpoint_dir=tmp_path / "full")
+        ckpt = tmp_path / "cut"
+        db = CampaignDatabase.load(tmp_path / "full" / "database")
+        shard = db.shard("llvm", "tiny-a")
+        shard.records = [r for r in shard.records if r.generation == 0]
+        shard._by_flags = {r.flag_key(): r for r in shard.records}
+        cut = CampaignDatabase(name=db.name, shards={("llvm", "tiny-a"): shard})
+        cut.save(ckpt / "database")
+        manifest = json.loads((tmp_path / "full" / "manifest.json").read_text())
+        manifest["completed"] = []
+        ckpt.mkdir(exist_ok=True)
+        (ckpt / "manifest.json").write_text(json.dumps(manifest))
+        fresh_process_state()
+        compiles = []
+        resumed = run_campaign(
+            checkpoint_dir=ckpt,
+            config_kwargs={"store_dir": tmp_path / "full" / STORE_DIR},
+            compiler_provider=counting_compiler_provider(compiles),
+        )
+        assert resumed.fingerprint() == uninterrupted.fingerprint()
+        assert resumed.database.record_signatures() == (
+            uninterrupted.database.record_signatures()
+        )
+        assert compiles == []  # every replayed candidate came from the store
+
+    def test_fresh_run_keeps_the_store(self, tmp_path):
+        """``resume=False`` discards the checkpoint but not the store:
+        content addressing makes stale entries harmless, so a fresh run
+        merely starts warm."""
+        fresh_process_state()
+        ckpt = tmp_path / "ckpt"
+        run_campaign(checkpoint_dir=ckpt)
+        fresh_process_state()
+        compiles = []
+        fresh = run_campaign(
+            checkpoint_dir=ckpt,
+            resume=False,
+            compiler_provider=counting_compiler_provider(compiles),
+        )
+        assert not any(program.resumed for program in fresh.programs)
+        assert compiles == []  # the store made the fresh run free anyway
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("dispatch", ["serial", "process", "distributed"])
+    def test_restarted_campaign_is_warm_on_every_executor(self, tmp_path, dispatch):
+        """The acceptance criterion, per executor: a campaign restarted in a
+        fresh process with the same store performs zero redundant compiles
+        and lands on the identical database fingerprint."""
+        if dispatch == "distributed" and not loopback_available():
+            pytest.skip("no AF_INET loopback in this sandbox")
+        store = tmp_path / "store"
+
+        def run(checkpoint_dir):
+            workers = 4 if dispatch == "process" else 1
+            config_kwargs = {"store_dir": store}
+            pool = None
+            threads = []
+            if dispatch == "distributed":
+                from repro.distrib.worker import serve
+
+                config_kwargs["dispatch"] = "distributed"
+                pool = SharedWorkerPool(dispatch="distributed")
+                threads = [
+                    threading.Thread(
+                        target=serve,
+                        kwargs=dict(connect=pool.address_string(), hard_exit=False,
+                                    slots=2, heartbeat_interval=0.5),
+                        daemon=True,
+                    )
+                    for _ in range(2)
+                ]
+                for thread in threads:
+                    thread.start()
+                pool.wait_for_workers(2, timeout=10)
+            try:
+                return run_campaign(
+                    checkpoint_dir=checkpoint_dir, workers=workers,
+                    config_kwargs=config_kwargs, pool=pool,
+                )
+            finally:
+                if pool is not None:
+                    pool.close()
+
+        fresh_process_state()
+        cold = run(tmp_path / "cold-ckpt")
+        fresh_process_state()
+        restarted = run(tmp_path / "restart-ckpt")
+        assert restarted.fingerprint() == cold.fingerprint()
+        stats = restarted.evaluation_stats()
+        assert stats.evaluated == cold.evaluation_stats().evaluated
+        assert stats.artifact_misses == 0  # zero redundant compiles/emulations
+        assert stats.artifact_store_hits > 0
+
+
 class TestSharedWorkerPool:
     def test_serial_pool_hands_out_serial_mappers(self):
         pool = SharedWorkerPool("serial", 1)
@@ -361,6 +530,33 @@ class TestCampaignCLI:
         from repro.campaign.cli import main
 
         assert main(["--families", ""]) == 2
+
+    def test_cli_fresh_restart_is_served_by_the_store(self, tmp_path, capsys):
+        """``--fresh`` re-runs everything, but the artifact store under the
+        checkpoint dir makes the restart warm: the CLI reports tier-2 hits
+        and both runs agree on the fingerprint."""
+        from repro.campaign.cli import main
+
+        args = [
+            "--benchmarks", "462.libquantum",
+            "--families", "llvm",
+            "--max-iterations", "10",
+            "--population", "6",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]
+        fresh_process_state()
+        assert main(args + ["--json", str(tmp_path / "cold.json")]) == 0
+        assert any((tmp_path / "ckpt" / STORE_DIR / "objects").iterdir())
+        capsys.readouterr()
+        fresh_process_state()
+        assert main(args + ["--fresh", "--json", str(tmp_path / "warm.json")]) == 0
+        out = capsys.readouterr().out
+        assert "tier-2 (disk) hits" in out and "artifact store" in out
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert warm["fingerprint"] == cold["fingerprint"]
+        assert warm["evaluation"]["artifact_store_hits"] > 0
+        assert warm["evaluation"]["artifact_misses"] == 0
 
     def test_report_subcommand_regenerates_tables(self, tmp_path, capsys):
         """``report`` rebuilds summary/potency/overlap from checkpoints

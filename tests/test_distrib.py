@@ -28,6 +28,7 @@ import threading
 from pathlib import Path
 
 import pytest
+from _helpers import fresh_process_state, loopback_available
 
 from repro.campaign import (
     Campaign,
@@ -51,21 +52,10 @@ from repro.tuner import (
 
 SRC_DIR = Path(__file__).resolve().parents[1] / "src"
 
-
-def _loopback_available() -> bool:
-    try:
-        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        probe.bind(("127.0.0.1", 0))
-        probe.close()
-        return True
-    except OSError:
-        return False
-
-
 #: Sandboxes without AF_INET loopback cannot host the coordinator at all;
 #: every test in this module at least imports it, so gate the whole module.
 pytestmark = pytest.mark.skipif(
-    not _loopback_available(), reason="no AF_INET loopback in this sandbox"
+    not loopback_available(), reason="no AF_INET loopback in this sandbox"
 )
 
 from repro.distrib import (  # noqa: E402  (import after the loopback gate)
@@ -793,3 +783,101 @@ class TestWorkerResilience:
         finally:
             left.close()
             right.close()
+
+
+# ---------------------------------------------------------------------------
+# the worker-local persistent artifact tier (--store-dir)
+# ---------------------------------------------------------------------------
+
+class TestWorkerStore:
+    """A distributed slot's disk-backed tier must survive everything the
+    in-memory caches cannot: worker restarts, reconnects, and evaluator-
+    cache evictions."""
+
+    def _staged_evaluator(self, llvm, store_dir=None):
+        from repro.tuner import StagedCandidateEvaluator
+
+        baseline = llvm.compile_level(TINY_A, "O0", name="tiny").image
+        return StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_A, name="tiny", baseline=baseline,
+            store_dir=str(store_dir) if store_dir is not None else None,
+        )
+
+    def test_restarted_worker_thread_is_warm_from_its_store(self, llvm, tmp_path):
+        """serve(store_dir=...) attaches a worker-local tier: a 'restarted'
+        worker (new serve loop, process-global caches wiped) serves the same
+        keys from disk instead of recompiling."""
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2", "O3")]
+        store_dir = tmp_path / "worker-store"
+
+        def one_session():
+            with Coordinator() as coordinator:
+                with thread_workers(coordinator, 1, store_dir=str(store_dir)):
+                    mapper = DistributedMapper(coordinator, self._staged_evaluator(llvm))
+                    results = mapper.map(keys)
+                    assert mapper.fallback_evaluations == 0
+                    return results
+
+        fresh_process_state()
+        cold = one_session()
+        assert sum(result.artifact_store_hits for result in cold) == 0
+        fresh_process_state()  # the restarted worker's memory is gone
+        warm = one_session()
+        assert [(r.fitness, r.fingerprint) for r in warm] == [
+            (r.fitness, r.fingerprint) for r in cold
+        ]
+        assert all(result.artifact_store_hits >= 1 for result in warm)
+        assert sum(result.artifact_misses for result in warm) == 0
+
+    @pytest.mark.slow
+    def test_worker_process_cli_store_dir_survives_a_real_restart(self, llvm, tmp_path):
+        """End to end with real processes: a worker started with --store-dir
+        compiles a batch, dies, and a *new* worker process over the same
+        store serves the identical batch without recompiling."""
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2")]
+        store_dir = tmp_path / "worker-store"
+
+        def one_worker_session():
+            with Coordinator() as coordinator:
+                process = spawn_worker_process(
+                    coordinator.address_string(), "--store-dir", str(store_dir)
+                )
+                try:
+                    coordinator.wait_for_workers(1, timeout=30)
+                    mapper = DistributedMapper(coordinator, self._staged_evaluator(llvm))
+                    results = mapper.map(keys)
+                    assert mapper.fallback_evaluations == 0
+                    coordinator.close()
+                    assert process.wait(timeout=10) == 0
+                    return results
+                finally:
+                    if process.poll() is None:
+                        process.kill()
+
+        cold = one_worker_session()
+        warm = one_worker_session()  # a brand-new interpreter, same store
+        assert [(r.fitness, r.fingerprint) for r in warm] == [
+            (r.fitness, r.fingerprint) for r in cold
+        ]
+        assert all(result.artifact_store_hits >= 1 for result in warm)
+        assert sum(result.artifact_misses for result in warm) == 0
+
+    def test_no_store_worker_never_touches_the_orchestrator_path(self, llvm, tmp_path):
+        """--no-store: an evaluator blob carrying the orchestrator's store
+        path evaluates normally, but the foreign path is never created."""
+        foreign = tmp_path / "orchestrator-store"
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2")]
+        fresh_process_state()
+        reference = [self._staged_evaluator(llvm)(key) for key in keys]
+        fresh_process_state()
+        with Coordinator() as coordinator:
+            with thread_workers(coordinator, 1, no_store=True):
+                mapper = DistributedMapper(
+                    coordinator, self._staged_evaluator(llvm, store_dir=foreign)
+                )
+                results = mapper.map(keys)
+                assert mapper.fallback_evaluations == 0
+        assert [(r.fitness, r.fingerprint) for r in results] == [
+            (r.fitness, r.fingerprint) for r in reference
+        ]
+        assert not foreign.exists()

@@ -11,16 +11,27 @@ The load-bearing guarantees:
   and traces by (image digest, workload), so shared caches are safe across
   evaluators, programs and reruns — a warm-started rerun stops recompiling;
 * the final best-candidate build is served from the cache instead of being
-  recompiled from scratch, and ``compare_levels`` goes through the stages.
+  recompiled from scratch, and ``compare_levels`` goes through the stages;
+* with a disk-backed store (:mod:`repro.tuner.store`) behind the cache, a
+  run restarted in a *fresh process* is bit-for-bit identical to — and
+  compiles nothing already compiled by — the cold run, on every executor,
+  with the store cold, warm, or GC-thrashed mid-run (the property-based
+  harness at the bottom randomizes seeds and flag domains over exactly
+  that invariant).
 """
 
 from __future__ import annotations
 
 import pickle
-import socket
+import shutil
+import tempfile
 import threading
+from pathlib import Path
 
 import pytest
+from _helpers import fresh_process_state, loopback_available
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.campaign import Campaign, CampaignConfig, ProgramJob
 from repro.difftools import NCDFitness
@@ -35,6 +46,7 @@ from repro.tuner import (
     ScoreStage,
     StagedCandidateEvaluator,
     TunerCandidateEvaluator,
+    persistent_store,
     shared_artifact_cache,
 )
 from repro.tuner.evaluation import split_into_chunks
@@ -461,18 +473,8 @@ class TestCampaignPipeline:
 # distributed parity (loopback-gated, slow: 4 worker threads)
 # ---------------------------------------------------------------------------
 
-def _loopback_available() -> bool:
-    try:
-        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        probe.bind(("127.0.0.1", 0))
-        probe.close()
-        return True
-    except OSError:
-        return False
-
-
 @pytest.mark.slow
-@pytest.mark.skipif(not _loopback_available(), reason="no AF_INET loopback in this sandbox")
+@pytest.mark.skipif(not loopback_available(), reason="no AF_INET loopback in this sandbox")
 def test_staged_distributed_four_workers_matches_monolithic_serial(llvm):
     from repro.distrib.worker import serve
 
@@ -502,3 +504,235 @@ def test_staged_distributed_four_workers_matches_monolithic_serial(llvm):
         tuner.close()
     assert staged.database.fingerprint() == mono.database.fingerprint()
     assert staged.best_flags.sorted_names() == mono.best_flags.sorted_names()
+
+
+# ---------------------------------------------------------------------------
+# the disk store behind the cache: worker rehydration + executor parity
+# ---------------------------------------------------------------------------
+
+def tune_with_store(
+    llvm,
+    store_dir,
+    ga_seed=9,
+    population=6,
+    warm_start=(),
+    executor="serial",
+    workers=1,
+    store_max_bytes=None,
+    max_iterations=12,
+):
+    config = BinTunerConfig(
+        max_iterations=max_iterations,
+        ga=GAParameters(population_size=population, seed=ga_seed),
+        stall_window=10,
+        pipeline="staged",
+        executor=executor,
+        workers=workers,
+        warm_start=warm_start,
+        store_dir=store_dir,
+        store_max_bytes=store_max_bytes,
+    )
+    tuner = BinTuner(llvm, BuildSpec(name="tiny", source=TINY_SOURCE), config)
+    try:
+        return tuner.run()
+    finally:
+        tuner.close()
+
+
+class TestStoreBackedEvaluator:
+    def test_fresh_worker_process_is_warm_from_store(self, llvm, tmp_path, monkeypatch):
+        """The worker-side fix: the process-global cache only shares state
+        within one interpreter, so a *fresh* worker process used to start
+        cold.  With ``store_dir`` in the evaluator blob, the rehydrated
+        evaluator consults the disk tier before compiling anything."""
+        fresh_process_state()
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        evaluator = StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            store_dir=str(tmp_path / "store"),
+        )
+        key = tuple(llvm.preset("O2").sorted_names())
+        original = evaluator(key)
+        assert original.artifact_store_hits == 0  # cold: really compiled
+        blob = pickle.dumps(evaluator)
+        fresh_process_state()  # the next unpickle acts like a new interpreter
+        clone = pickle.loads(blob)
+
+        def recompile_is_a_bug(*_args, **_kwargs):
+            raise AssertionError("fresh worker recompiled a stored configuration")
+
+        monkeypatch.setattr(clone.compiler, "compile", recompile_is_a_bug)
+        result = clone(key)
+        assert (result.fitness, result.code_size, result.fingerprint, result.valid) == (
+            original.fitness, original.code_size, original.fingerprint, original.valid
+        )
+        assert result.artifact_store_hits >= 1 and result.artifact_misses == 0
+
+    def test_attach_store_repoints_at_a_worker_local_tier(self, llvm, tmp_path):
+        """The distributed worker's ``--store-dir`` override: the
+        orchestrator's path is replaced by the worker's own before any
+        evaluation, so artifacts land in the local tier."""
+        fresh_process_state()
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        evaluator = StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            store_dir=str(tmp_path / "orchestrator"),
+        )
+        clone = pickle.loads(pickle.dumps(evaluator))
+        clone.attach_store(tmp_path / "worker-local")
+        clone(tuple(llvm.preset("O1").sorted_names()))
+        local = persistent_store(tmp_path / "worker-local")
+        assert len(local) > 0
+        # The foreign path was never even created, let alone written.
+        assert not (tmp_path / "orchestrator").exists()
+
+    def test_attach_store_none_detaches_the_disk_tier(self, llvm, tmp_path):
+        """The worker's ``--no-store``: the orchestrator's baked-in path is
+        dropped entirely — no local persistence, no foreign directories."""
+        fresh_process_state()
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        evaluator = StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            store_dir=str(tmp_path / "orchestrator"),
+        )
+        clone = pickle.loads(pickle.dumps(evaluator))
+        clone.attach_store(None)
+        result = clone(tuple(llvm.preset("O1").sorted_names()))
+        assert result.valid and result.artifact_store_hits == 0
+        assert clone.artifact_cache.store is None
+        assert not (tmp_path / "orchestrator").exists()
+
+    def test_eviction_of_the_memory_tier_falls_back_to_disk(self, llvm, tmp_path):
+        """A 1-entry memory tier thrashes constantly; results still come
+        from the store, not from recompilation, and stay identical."""
+        fresh_process_state()
+        reference = tune_with_store(llvm, tmp_path / "store")
+        fresh_process_state()
+        config = BinTunerConfig(
+            max_iterations=12, ga=GAParameters(population_size=6, seed=9),
+            stall_window=10, store_dir=tmp_path / "store", artifact_cache_size=1,
+        )
+        tuner = BinTuner(llvm, BuildSpec(name="tiny", source=TINY_SOURCE), config)
+        try:
+            tiny_memory = tuner.run()
+        finally:
+            tuner.close()
+        assert tiny_memory.database.fingerprint() == reference.database.fingerprint()
+        assert tiny_memory.evaluation_stats.artifact_misses == 0
+        assert tiny_memory.evaluation_stats.artifact_store_hits > 0
+
+
+class TestStoreParityProperties:
+    """The property-based harness: for randomized GA seeds, populations, and
+    warm-start flag domains, serial == thread == restart-warm == GC-evicted
+    fingerprints, and a restart-warm run recompiles nothing."""
+
+    @settings(max_examples=4, deadline=None, database=None)
+    @given(data=st.data())
+    def test_cold_warm_restart_and_gc_runs_are_identical(self, llvm, data):
+        ga_seed = data.draw(st.integers(0, 2**16), label="ga_seed")
+        population = data.draw(st.integers(4, 8), label="population")
+        names = sorted(llvm.registry.flag_names())
+        warm_start = tuple(
+            tuple(sorted(set(subset)))
+            for subset in data.draw(
+                st.lists(
+                    st.lists(st.sampled_from(names), min_size=1, max_size=4),
+                    max_size=2,
+                ),
+                label="warm_start",
+            )
+        )
+        knobs = dict(ga_seed=ga_seed, population=population, warm_start=warm_start,
+                     max_iterations=10)
+        root = Path(tempfile.mkdtemp(prefix="repro-store-prop-"))
+        try:
+            fresh_process_state()
+            cold = tune_with_store(llvm, root / "store", **knobs)
+            fingerprint = cold.database.fingerprint()
+
+            # Restart-warm: a fresh process over the same store must be
+            # bit-for-bit identical to the cold run and compile nothing.
+            fresh_process_state()
+            restarted = tune_with_store(llvm, root / "store", **knobs)
+            assert restarted.database.fingerprint() == fingerprint
+            stats = restarted.evaluation_stats
+            assert stats.artifact_misses == 0
+            assert stats.artifact_store_hits > 0
+            assert stats.evaluated == cold.evaluation_stats.evaluated
+
+            # The thread executor over the same (now warm) store.
+            fresh_process_state()
+            threaded = tune_with_store(
+                llvm, root / "store", executor="thread", workers=2, **knobs
+            )
+            assert threaded.database.fingerprint() == fingerprint
+
+            # A byte budget smaller than one entry: GC evicts mid-run,
+            # constantly; eviction must never change any result.
+            fresh_process_state()
+            thrashed = tune_with_store(
+                llvm, root / "tiny-store", store_max_bytes=1024, **knobs
+            )
+            assert thrashed.database.fingerprint() == fingerprint
+            assert persistent_store(root / "tiny-store").gc_evictions > 0
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.mark.slow
+class TestStoreParitySlow:
+    """Restart-warm parity on the multi-process executors (CI's determinism
+    job): fresh worker processes must be served by the disk tier."""
+
+    def test_process_pool_restart_warm_matches_cold(self, llvm, tmp_path):
+        fresh_process_state()
+        cold = tune_with_store(
+            llvm, tmp_path / "store", executor="process", workers=4, max_iterations=16
+        )
+        fresh_process_state()
+        restarted = tune_with_store(
+            llvm, tmp_path / "store", executor="process", workers=4, max_iterations=16
+        )
+        assert restarted.database.fingerprint() == cold.database.fingerprint()
+        stats = restarted.evaluation_stats
+        assert stats.artifact_misses == 0 and stats.artifact_store_hits > 0
+
+    @pytest.mark.skipif(not loopback_available(),
+                        reason="no AF_INET loopback in this sandbox")
+    def test_distributed_restart_warm_matches_cold(self, llvm, tmp_path):
+        from repro.distrib.worker import serve
+
+        def run():
+            config = BinTunerConfig(
+                max_iterations=16, ga=GAParameters(population_size=6, seed=9),
+                stall_window=12, pipeline="staged", executor="distributed",
+                store_dir=tmp_path / "store",
+            )
+            tuner = BinTuner(llvm, BuildSpec(name="tiny", source=TINY_SOURCE), config)
+            engine = tuner.evaluation_engine()
+            coordinator = engine.mapper.coordinator
+            threads = [
+                threading.Thread(
+                    target=serve,
+                    kwargs=dict(connect=coordinator.address_string(),
+                                hard_exit=False, slots=2, heartbeat_interval=0.5),
+                    daemon=True,
+                )
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            coordinator.wait_for_workers(2, timeout=10)
+            try:
+                return tuner.run()
+            finally:
+                tuner.close()
+
+        fresh_process_state()
+        cold = run()
+        fresh_process_state()  # worker threads shared this process's caches
+        restarted = run()
+        assert restarted.database.fingerprint() == cold.database.fingerprint()
+        stats = restarted.evaluation_stats
+        assert stats.artifact_misses == 0 and stats.artifact_store_hits > 0
