@@ -131,6 +131,15 @@ class CampaignConfig:
     store_dir: Optional[Path] = None
     #: Byte budget of the store's LRU garbage collection (``None``: unbounded).
     store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES
+    #: Serve the artifact mesh from the campaign's store (distributed
+    #: dispatch only): workers push freshly compiled tier-2 entries to the
+    #: coordinator and fetch their misses from other machines' past work
+    #: before paying a compile.  Requires the staged pipeline and a store
+    #: directory (explicit, or the checkpoint-derived default).
+    mesh: bool = False
+    #: Per-machine byte cap on mesh transfer, both directions
+    #: (``None``: unbounded).
+    mesh_budget_bytes: Optional[int] = None
     #: Seed later programs' GA populations with earlier programs' best flags.
     warm_start: bool = True
     #: At most this many prior bests are injected per program.
@@ -261,6 +270,26 @@ class Campaign:
         # a disk-backed second tier, so a campaign restarted in a *fresh
         # process* starts warm too.
         self.store_dir = self._resolve_store_dir()
+        if self.config.mesh:
+            dispatch = self.config.dispatch or self.config.executor
+            if dispatch != "distributed":
+                raise ValueError(
+                    "mesh=True requires dispatch='distributed' (the artifact "
+                    "mesh is served by the network coordinator)"
+                )
+            if self.config.pipeline != "staged":
+                raise ValueError(
+                    "mesh=True requires pipeline='staged' (the monolithic "
+                    "closure produces no artifacts to exchange)"
+                )
+            if self.store_dir is None:
+                raise ValueError(
+                    "mesh=True requires a store: pass store_dir= or "
+                    "checkpoint_dir= so the coordinator has a disk-backed "
+                    "ArtifactStore to serve the mesh from"
+                )
+        if self.config.mesh_budget_bytes is not None and not self.config.mesh:
+            raise ValueError("mesh_budget_bytes requires mesh=True")
         if self.config.pipeline != "staged":
             self.artifact_cache: Optional[ArtifactCache] = None
         elif artifact_cache is not None:
@@ -443,6 +472,11 @@ class Campaign:
             dispatch=self.config.dispatch,
             serve=self.config.serve,
             authkey=self.config.authkey,
+            # The mesh serves the *campaign's* store: the orchestrator's own
+            # baselines and every worker's pushed compile become fetchable
+            # by the whole fleet.
+            mesh_store=self.store_dir if self.config.mesh else None,
+            mesh_budget_bytes=self.config.mesh_budget_bytes,
         )
         if pool.dispatch == "distributed" and self.config.min_workers > 0:
             try:

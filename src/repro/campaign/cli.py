@@ -103,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store-max-bytes", type=int, default=None,
                         help="byte budget of the store's LRU garbage "
                              "collection (default: 256 MiB)")
+    parser.add_argument("--mesh", action="store_true",
+                        help="with --dispatch distributed: serve the artifact "
+                             "mesh from the campaign store — workers push "
+                             "freshly compiled artifacts to the coordinator "
+                             "and fetch their misses from other machines' "
+                             "past work, so a fresh machine joins warm")
+    parser.add_argument("--mesh-budget-bytes", type=int, default=None,
+                        help="with --mesh: per-machine cap on artifact-mesh "
+                             "transfer, both directions (default: unbounded)")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="enable per-generation checkpointing under this directory")
     parser.add_argument("--fresh", action="store_true",
@@ -137,6 +146,8 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
         min_workers=args.min_workers,
         authkey=args.authkey,
         pipeline=args.pipeline,
+        mesh=args.mesh,
+        mesh_budget_bytes=args.mesh_budget_bytes,
         warm_start=not args.no_warm_start,
         checkpoint_dir=args.checkpoint_dir,
         **pipeline_knobs,
@@ -164,6 +175,17 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
     ):
         parser.error("--store-max-bytes requires an active store "
                      "(--store-dir, or --checkpoint-dir with the staged pipeline)")
+    if args.mesh:
+        if (args.dispatch or args.executor) != "distributed":
+            parser.error("--mesh requires --dispatch distributed "
+                         "(the mesh is served by the network coordinator)")
+        if args.pipeline != "staged":
+            parser.error("--mesh requires --pipeline staged")
+        if args.store_dir is None and args.checkpoint_dir is None:
+            parser.error("--mesh requires a store to serve from "
+                         "(--store-dir or --checkpoint-dir)")
+    if args.mesh_budget_bytes is not None and not args.mesh:
+        parser.error("--mesh-budget-bytes requires --mesh")
     campaign = _build_campaign(args)
     jobs = campaign.jobs
     if not jobs:
@@ -182,7 +204,9 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
 
             pool = SharedWorkerPool(args.executor, args.workers,
                                     dispatch="distributed", serve=args.serve,
-                                    authkey=args.authkey)
+                                    authkey=args.authkey,
+                                    mesh_store=campaign.store_dir if args.mesh else None,
+                                    mesh_budget_bytes=args.mesh_budget_bytes)
             bound = pool.address_string()
             host, _sep, port = bound.rpartition(":")
             if host in ("0.0.0.0", "::", ""):
@@ -195,11 +219,18 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             authhint = " --authkey ..." if args.authkey else ""
             print(f"coordinator listening on {connect}{note} — start workers with\n"
                   f"  python -m repro.distrib.worker --connect {connect}{authhint}")
+            if args.mesh:
+                budget = (f", per-machine budget {args.mesh_budget_bytes} bytes"
+                          if args.mesh_budget_bytes is not None else "")
+                print(f"artifact mesh on: serving {campaign.store_dir}{budget}")
             if args.min_workers > 0:
                 print(f"waiting for {args.min_workers} worker(s)...")
                 pool.wait_for_workers(args.min_workers,
                                       timeout=campaign.config.worker_wait_timeout)
         result = campaign.run(limit=args.limit, resume=not args.fresh, pool=pool)
+        # Snapshot before the finally below closes the pool (and with it the
+        # coordinator that owns the artifact plane's counters).
+        mesh_summary = pool.mesh_stats() if pool is not None else None
     finally:
         if pool is not None:
             pool.close()
@@ -238,11 +269,17 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             if stats.artifact_store_hits:
                 line += (f"; {stats.artifact_store_hits} tier-2 (disk) hits "
                          f"({stats.artifact_store_hit_ratio:.1%} of stage lookups)")
+            if stats.artifact_mesh_hits:
+                line += (f"; {stats.artifact_mesh_hits} mesh hits "
+                         f"({stats.artifact_mesh_hit_ratio:.1%} of stage lookups)")
         print(line)
     if result.artifact_cache_stats is not None:
         cache = result.artifact_cache_stats
+        mesh_part = (f"{cache['mesh_hits']} mesh hits / "
+                     if cache.get("mesh_hits") else "")
         print(f"artifact cache: {cache['hits']} memory hits / "
-              f"{cache['store_hits']} disk hits / {cache['misses']} misses "
+              f"{cache['store_hits']} disk hits / {mesh_part}"
+              f"{cache['misses']} misses "
               f"(hit ratio {cache['hit_ratio']:.1%}), "
               f"{cache['entries']}/{cache['max_entries']} entries, "
               f"{cache['evictions']} evictions")
@@ -251,6 +288,15 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"artifact store ({store['path']}): {store['entries']} entries "
                   f"/ {store['bytes']} bytes, {store['hits']} hits, "
                   f"{store['puts']} writes, {store['gc_evictions']} GC evictions")
+    if mesh_summary is not None:
+        denied = (f", {mesh_summary['budget_denied']} budget-denied"
+                  if mesh_summary["budget_denied"] else "")
+        print(f"artifact mesh: {mesh_summary['pushes_accepted']} pushes absorbed "
+              f"({mesh_summary['pushes_rejected']} rejected), "
+              f"{mesh_summary['fetches_served']} fetches served / "
+              f"{mesh_summary['fetches_missed']} missed, "
+              f"{mesh_summary['bytes_in']}B in / {mesh_summary['bytes_out']}B out"
+              f"{denied}")
     print(f"database fingerprint: {result.fingerprint()}")
     print(f"elapsed: {result.elapsed_seconds:.1f}s over {result.database.total_records()} records")
 
@@ -263,6 +309,7 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             "pipeline": args.pipeline,
             "evaluation": stats.as_dict(),
             "artifact_cache": result.artifact_cache_stats,
+            "mesh": mesh_summary,
         }
         args.json_out.write_text(json.dumps(payload, indent=2))
     return 0
@@ -370,6 +417,9 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
         if pipeline_stats.artifact_store_hits:
             line += (f", {pipeline_stats.artifact_store_hits} served by the "
                      f"disk store (tier 2)")
+        if pipeline_stats.artifact_mesh_hits:
+            line += (f", {pipeline_stats.artifact_mesh_hits} served by the "
+                     f"artifact mesh ({pipeline_stats.artifact_mesh_hit_ratio:.1%})")
         print(line)
 
     potency: Dict[str, Dict[str, float]] = {}

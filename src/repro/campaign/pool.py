@@ -168,6 +168,8 @@ class SharedWorkerPool:
         serve: Optional[str] = None,
         coordinator=None,
         authkey=None,
+        mesh_store=None,
+        mesh_budget_bytes: Optional[int] = None,
     ) -> None:
         mode = dispatch if dispatch is not None else executor
         if mode not in self.DISPATCH_MODES:
@@ -186,12 +188,22 @@ class SharedWorkerPool:
         self._pool = None
         self._coordinator = coordinator
         self._own_coordinator = False
+        if mode != "distributed" and mesh_store is not None:
+            raise ValueError(
+                f"the artifact mesh requires distributed dispatch, not {mode!r}"
+            )
         if mode == "distributed" and self._coordinator is None:
             from repro.distrib.coordinator import Coordinator
             from repro.distrib.protocol import parse_address
 
             host, port = parse_address(serve) if serve else ("127.0.0.1", 0)
-            self._coordinator = Coordinator(host=host, port=port, authkey=authkey)
+            # ``mesh_store`` (an ArtifactStore or a directory path) turns on
+            # the coordinator's artifact plane: workers push fresh tier-2
+            # entries here and fetch their misses from each other's work.
+            self._coordinator = Coordinator(
+                host=host, port=port, authkey=authkey,
+                artifact_store=mesh_store, mesh_budget_bytes=mesh_budget_bytes,
+            )
             self._own_coordinator = True
 
     # -- distributed front ------------------------------------------------------------
@@ -211,6 +223,15 @@ class SharedWorkerPool:
         if self._coordinator is None:
             raise ValueError(f"pool dispatch {self.dispatch!r} has no remote workers")
         return self._coordinator.wait_for_workers(count, timeout)
+
+    def mesh_stats(self) -> Optional[Dict[str, object]]:
+        """The coordinator's artifact-plane counters, or ``None`` when this
+        pool serves no mesh.  Capture before :meth:`close` — closing an
+        owned coordinator drops it."""
+        if self._coordinator is None:
+            return None
+        stats = getattr(self._coordinator, "mesh_stats", None)
+        return stats() if stats is not None else None
 
     # -- mapper construction ----------------------------------------------------------
 

@@ -15,6 +15,9 @@ behind an ordered ``map(keys) -> results`` — completely fixed:
 * :mod:`repro.distrib.mapper` — :class:`DistributedMapper`, the
   ``map(keys) -> results`` implementation with submission-order results,
   bounded re-dispatch on worker loss, and in-process fallback;
+* :mod:`repro.distrib.artifacts` — the artifact mesh: workers push fresh
+  tier-2 entries to the coordinator's store and fetch their misses from
+  any other machine's past work, digest-verified on every hop;
 * :mod:`repro.distrib.errors` — the failure taxonomy (transport losses are
   recovered; programming errors propagate).
 
@@ -23,6 +26,7 @@ a distributed run is bit-for-bit identical to a serial one for any worker
 or machine count, including runs where workers die mid-generation.
 """
 
+from repro.distrib.artifacts import CoordinatorArtifactPlane, WorkerMeshClient
 from repro.distrib.coordinator import Coordinator, WorkerHandle
 from repro.distrib.errors import (
     ConnectionClosed,
@@ -52,6 +56,8 @@ def __getattr__(name: str):
 __all__ = [
     "ConnectionClosed",
     "Coordinator",
+    "CoordinatorArtifactPlane",
+    "WorkerMeshClient",
     "DistribError",
     "DistributedMapper",
     "ProtocolError",

@@ -16,11 +16,13 @@ EvaluatorMissing` reply self-heals it by re-sending the blob.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import socket
 import threading
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro.distrib.artifacts import CoordinatorArtifactPlane, handle_artifact_message
 from repro.distrib.errors import (
     ConnectionClosed,
     DistribError,
@@ -28,6 +30,9 @@ from repro.distrib.errors import (
     WorkerLost,
 )
 from repro.distrib.protocol import (
+    ArtifactFetch,
+    ArtifactHave,
+    ArtifactPush,
     BatchFailure,
     BatchResult,
     EvalBatch,
@@ -42,6 +47,12 @@ from repro.distrib.protocol import (
     recv_message,
     send_message,
 )
+
+#: Upper bound on a worker's advertised slot count.  ``Hello.slots`` weights
+#: batch partitioning (the mapper materializes ``slots`` list entries per
+#: worker), so an absurd claim from a hand-rolled client would poison the
+#: partition — and no real machine runs a thousand evaluation threads.
+MAX_WORKER_SLOTS = 1024
 
 
 def _is_loopback(host: str) -> bool:
@@ -62,6 +73,13 @@ class WorkerHandle:
         #: request/response, so concurrent mapper threads must serialize.
         self.lock = threading.Lock()
         self.batches_completed = 0
+        #: Artifact-plane state: bytes this machine has moved over the mesh
+        #: (both directions, budget-checked), and in-flight push
+        #: reassemblies (``repr(key)`` -> partial chunks) — all touched only
+        #: under ``self.lock`` from :meth:`Coordinator.run_batch`, and gone
+        #: with the handle when the worker is discarded.
+        self.mesh_bytes = 0
+        self.mesh_parts: Dict[str, Dict] = {}
 
     def __repr__(self) -> str:
         return (f"WorkerHandle(id={self.worker_id}, peer={self.peer!r}, "
@@ -85,6 +103,8 @@ class Coordinator:
         task_timeout: float = 120.0,
         handshake_timeout: float = 5.0,
         authkey: Union[str, bytes, None] = None,
+        artifact_store=None,
+        mesh_budget_bytes: Optional[int] = None,
     ) -> None:
         #: Per-*task* reply budget: a batch of N tasks may take N times this
         #: before its worker is declared lost (a fixed per-batch timeout
@@ -97,6 +117,20 @@ class Coordinator:
         #: are pickled, and unpickling bytes from an unauthenticated network
         #: peer is arbitrary code execution.
         self.authkey = normalize_authkey(authkey)
+        #: The artifact mesh: when a store is given (an
+        #: :class:`~repro.tuner.store.ArtifactStore` or a directory path),
+        #: this coordinator serves the artifact plane from it — workers
+        #: push fresh tier-2 entries here and fetch their misses from it,
+        #: budget-capped per machine by ``mesh_budget_bytes``.
+        self.artifact_plane: Optional[CoordinatorArtifactPlane] = None
+        if artifact_store is not None:
+            from repro.tuner.store import ArtifactStore, persistent_store
+
+            if not isinstance(artifact_store, ArtifactStore):
+                artifact_store = persistent_store(artifact_store)
+            self.artifact_plane = CoordinatorArtifactPlane(
+                artifact_store, budget_bytes=mesh_budget_bytes
+            )
         if self.authkey is None and not _is_loopback(host):
             raise ValueError(
                 f"refusing to bind a coordinator without an authkey on "
@@ -176,13 +210,22 @@ class Coordinator:
                     # peers never reach recv_message.
                     authenticate(sock, self.authkey, server=True)
                 hello = recv_message(sock)
+                # ``slots`` weights batch partitioning, so a bogus claim
+                # (zero, negative, bool, or an absurdly large int) must be
+                # rejected cleanly at the door, never trusted verbatim.
                 if (not isinstance(hello, Hello)
                         or not isinstance(hello.slots, int)
                         or isinstance(hello.slots, bool)
-                        or hello.slots < 1):
+                        or hello.slots < 1
+                        or hello.slots > MAX_WORKER_SLOTS):
                     raise ProtocolError(f"bad handshake from {peer}: {hello!r}")
                 worker_id = next(self._worker_ids)
-                send_message(sock, Welcome(worker_id))
+                plane = self.artifact_plane
+                send_message(sock, Welcome(
+                    worker_id,
+                    mesh=plane is not None,
+                    mesh_budget_bytes=plane.budget_bytes if plane is not None else None,
+                ))
                 sock.settimeout(self.task_timeout)
             except Exception:
                 # One bad peer (version skew, scanner, crafted payload) must
@@ -238,6 +281,16 @@ class Coordinator:
                         handle.known_evaluators.discard(evaluator_id)
                         send_message(handle.sock, EvalBatch(evaluator_id, tasks, blob))
                         continue
+                    if isinstance(reply, (ArtifactFetch, ArtifactHave, ArtifactPush)):
+                        # Artifact-plane traffic interleaves with the batch
+                        # exactly like heartbeats: serve it and keep waiting
+                        # for the batch reply.  The handle's lock is already
+                        # held, so the per-handle mesh state is safe.
+                        handle_artifact_message(
+                            self.artifact_plane, handle, reply,
+                            functools.partial(send_message, handle.sock),
+                        )
+                        continue
                     break
             except (ConnectionClosed, OSError, TimeoutError) as exc:
                 raise WorkerLost(
@@ -263,6 +316,14 @@ class Coordinator:
         handle.known_evaluators.add(evaluator_id)
         handle.batches_completed += 1
         return list(reply.results)
+
+    # -- the artifact plane -----------------------------------------------------------
+
+    def mesh_stats(self) -> Optional[Dict[str, object]]:
+        """The artifact plane's counters, or ``None`` when no mesh is served."""
+        if self.artifact_plane is None:
+            return None
+        return self.artifact_plane.stats()
 
     # -- lifecycle --------------------------------------------------------------------
 

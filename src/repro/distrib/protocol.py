@@ -22,6 +22,27 @@ The conversation is strictly request/response per worker:
 Results travel with their submission *index*, never their completion order:
 the mapper slots them back by index, which is what keeps distributed runs
 bit-for-bit identical to serial ones.
+
+The **artifact plane** rides inside the same conversation.  While a batch is
+evaluating (the only time a worker has artifact traffic), the worker may
+interleave mesh frames ahead of its batch reply, exactly like heartbeats:
+
+* :class:`ArtifactFetch` (worker → coordinator) asks for one tier-2 entry;
+  the coordinator answers with :class:`ArtifactData` frames — the entry's
+  encoded payload, chunked so no frame approaches :data:`MAX_FRAME_BYTES`
+  (``part_count == 0`` is a miss);
+* :class:`ArtifactHave` (worker → coordinator) is the membership probe
+  behind batched pushes: the worker only uploads entries the coordinator
+  does not already hold, answered by :class:`ArtifactHaveReply`;
+* :class:`ArtifactPush` (worker → coordinator) carries freshly produced
+  entries, each as ``(key, part_index, part_count, chunk)`` quads using the
+  same chunking, fire-and-forget (the stream is ordered, so every push is
+  absorbed before the batch reply is parsed).
+
+Payloads are :meth:`~repro.tuner.store.ArtifactStore.encode_entry` bytes —
+digest plus embedded key — so every receiver re-verifies them on arrival
+and on every later load: a corrupt, truncated, or aliased transfer reads as
+a miss by construction, never as a wrong artifact.
 """
 
 from __future__ import annotations
@@ -56,9 +77,17 @@ class Hello:
 
 @dataclass(frozen=True)
 class Welcome:
-    """Coordinator's handshake reply: the worker's assigned id."""
+    """Coordinator's handshake reply: the worker's assigned id.
+
+    ``mesh`` advertises whether this coordinator serves the artifact plane;
+    ``mesh_budget_bytes`` is the per-machine transfer budget it enforces
+    (``None`` = unbounded).  Workers built against an older coordinator see
+    the defaults and simply never send artifact frames.
+    """
 
     worker_id: int
+    mesh: bool = False
+    mesh_budget_bytes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -119,9 +148,83 @@ class Shutdown:
     """Coordinator → worker: drain and exit cleanly."""
 
 
+# -- artifact plane ---------------------------------------------------------
+
+#: Chunk size for artifact payload transfer.  Entries are split into parts of
+#: at most this many bytes so a single artifact can never produce a frame
+#: anywhere near :data:`MAX_FRAME_BYTES`, and a slow transfer keeps feeding
+#: the receiver's per-recv timeout window frame by frame.
+ARTIFACT_CHUNK_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ArtifactHave:
+    """Worker → coordinator: which of ``keys`` does the mesh already hold?
+
+    Sent before a batched push so the worker only uploads entries the
+    coordinator is missing — the mesh must never amplify traffic by
+    re-sending artifacts every machine already has.
+    """
+
+    keys: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class ArtifactHaveReply:
+    """Coordinator → worker: membership bits, aligned with the probe's keys."""
+
+    present: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class ArtifactFetch:
+    """Worker → coordinator: serve one tier-2 entry from the mesh store."""
+
+    key: object
+
+
+@dataclass(frozen=True)
+class ArtifactData:
+    """Coordinator → worker: one chunk of a fetched entry's encoded payload.
+
+    Parts arrive in order, ``part_index`` running ``0 .. part_count - 1``.
+    ``part_count == 0`` (with empty ``data``) is a miss — the mesh does not
+    hold the entry, or serving it would exceed the machine's byte budget.
+    """
+
+    key: object
+    part_index: int
+    part_count: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ArtifactPush:
+    """Worker → coordinator: freshly produced entries, fire-and-forget.
+
+    ``entries`` holds ``(key, part_index, part_count, chunk)`` quads; large
+    payloads span consecutive quads (and may span consecutive pushes), small
+    ones batch many-per-frame.  Receivers re-verify each reassembled payload
+    before storing it, so a tampered push is dropped, never served.
+    """
+
+    entries: Tuple[Tuple[object, int, int, bytes], ...]
+
+
+def chunk_payload(payload: bytes) -> Tuple[bytes, ...]:
+    """Split an encoded entry into :data:`ARTIFACT_CHUNK_BYTES`-sized parts."""
+    if not payload:
+        return (b"",)
+    return tuple(
+        payload[offset:offset + ARTIFACT_CHUNK_BYTES]
+        for offset in range(0, len(payload), ARTIFACT_CHUNK_BYTES)
+    )
+
+
 MESSAGE_TYPES = (
     Hello, Welcome, EvalBatch, BatchResult, BatchFailure, EvaluatorMissing,
     Heartbeat, Shutdown,
+    ArtifactHave, ArtifactHaveReply, ArtifactFetch, ArtifactData, ArtifactPush,
 )
 
 

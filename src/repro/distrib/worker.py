@@ -57,6 +57,7 @@ import threading
 import time
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.distrib.artifacts import WorkerMeshClient
 from repro.distrib.errors import AuthenticationError, ConnectionClosed, ProtocolError
 from repro.distrib.protocol import (
     BatchFailure,
@@ -88,6 +89,13 @@ HANDSHAKE_FAILED_STATUS = 3
 
 #: Default seconds between Heartbeat frames while a batch evaluates.
 DEFAULT_HEARTBEAT_INTERVAL = 15.0
+
+#: Default seconds to establish the TCP connection *and* complete the
+#: handshake.  Historically there was no deadline at all, so a blackholed
+#: coordinator address (firewall drop, dead NAT entry) or a
+#: bound-but-never-accepting socket hung a connecting worker forever — and
+#: with it the ``--reconnect`` backoff that exists precisely for that case.
+DEFAULT_CONNECT_TIMEOUT = 30.0
 
 
 def _exception_survives_pickle(exc: BaseException) -> bool:
@@ -182,6 +190,9 @@ def serve(
     store_dir: Optional[str] = None,
     store_max_bytes: Optional[int] = None,
     no_store: bool = False,
+    connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    mesh: bool = True,
+    mesh_budget_bytes: Optional[int] = None,
 ) -> int:
     """Run one worker session until shutdown; returns a process exit status.
 
@@ -210,16 +221,36 @@ def serve(
     budget the orchestrator baked into the blob).  ``no_store`` detaches the
     store instead, so an evaluator's baked-in orchestrator path is never
     created or written on this machine at all.
+
+    ``connect_timeout`` bounds both the TCP connect and the whole handshake
+    (a coordinator that accepts the connection but never answers used to
+    hang the worker forever); a handshake that times out returns
+    :data:`CONNECTION_LOST_STATUS` — a stalled coordinator may heal, so the
+    reconnect loop must back off and retry it, not give up.  Once the
+    Welcome arrives the deadline comes off: batches may legitimately be
+    minutes apart.
+
+    ``mesh`` (on by default) joins the coordinator's artifact plane when it
+    advertises one: this worker's tier-2 misses are served from other
+    machines' past work before paying a compile, and its fresh artifacts
+    are pushed back after each batch.  ``mesh_budget_bytes`` caps this
+    machine's total artifact transfer (default: the budget the coordinator
+    advertises).
     """
     if slots < 1:
         raise ValueError(f"slots must be >= 1, got {slots}")
     if cache_limit < 1:
         raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
+    if connect_timeout is not None and connect_timeout <= 0:
+        raise ValueError(f"connect_timeout must be > 0, got {connect_timeout}")
     emit = log if log is not None else (lambda message: None)
     authkey = normalize_authkey(authkey)
     host, port = parse_address(connect)
-    sock = socket.create_connection((host, port))
+    # The timeout set here persists on the socket through the handshake
+    # below, so every recv between connect and Welcome shares the deadline.
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
     executor = None
+    mesh_client: Optional[WorkerMeshClient] = None
     try:
         try:
             if authkey is not None:
@@ -228,6 +259,15 @@ def serve(
             welcome = recv_message(sock)
             if not isinstance(welcome, Welcome):
                 raise ProtocolError(f"expected Welcome, got {type(welcome).__name__}")
+        except TimeoutError:
+            # The coordinator accepted the connection but never completed
+            # the handshake — bound-but-not-accepting listen backlog, a
+            # stalled process, a blackholing middlebox.  Transient: the
+            # reconnect loop must back off and retry, exactly like a peer
+            # that vanished mid-handshake.
+            emit(f"worker: handshake with {connect} timed out "
+                 f"after {connect_timeout:g}s")
+            return CONNECTION_LOST_STATUS
         except ConnectionClosed as exc:
             # The peer vanished mid-handshake — a coordinator dying between
             # accept and Welcome, or a handshake squeezed out by an accept
@@ -241,10 +281,20 @@ def serve(
             # "wrong or missing authkey", not a crash.
             emit(f"worker: handshake with {connect} failed: {exc}")
             return HANDSHAKE_FAILED_STATUS
+        # Registered: the deadline comes off — batches can be arbitrarily
+        # far apart, and the coordinator owns liveness from here on.
+        sock.settimeout(None)
         emit(f"worker {welcome.worker_id}: connected to {connect} with {slots} slot(s)")
         if on_registered is not None:
             on_registered(welcome.worker_id)
         sender = _HeartbeatSender(sock, welcome.worker_id, heartbeat_interval)
+        if mesh and getattr(welcome, "mesh", False):
+            budget = mesh_budget_bytes
+            if budget is None:
+                budget = getattr(welcome, "mesh_budget_bytes", None)
+            mesh_client = WorkerMeshClient(sock, sender, budget_bytes=budget, log=log)
+            emit(f"worker {welcome.worker_id}: joined the artifact mesh"
+                 + (f" (budget {budget} bytes)" if budget is not None else ""))
         #: evaluator id -> deserialized evaluator, FIFO-bounded like
         #: the shared pool's per-process cache.
         evaluators: Dict[int, object] = {}
@@ -280,6 +330,12 @@ def serve(
                             attach(None)
                         else:
                             attach(store_dir, max_bytes=store_max_bytes)
+                if mesh_client is not None:
+                    # After any store override: attach_store swaps the cache,
+                    # and the mesh must hook the cache actually in use.
+                    attach_mesh = getattr(evaluator, "attach_mesh", None)
+                    if attach_mesh is not None:
+                        mesh_client.track_cache(attach_mesh(mesh_client))
                 while len(evaluators) >= cache_limit:
                     evaluators.pop(next(iter(evaluators)))
                 evaluators[message.evaluator_id] = evaluator
@@ -290,8 +346,23 @@ def serve(
                     max_workers=slots, thread_name_prefix="worker-slot"
                 )
             try:
-                with sender:  # heartbeats flow for the duration of the batch
-                    results = _evaluate_tasks(evaluator, message.tasks, slots, executor)
+                if mesh_client is not None:
+                    # Arm the mesh only while this worker owns the socket
+                    # for reading (the coordinator sends nothing unprompted
+                    # mid-batch, so fetch replies are unambiguous).
+                    mesh_client.begin_batch()
+                try:
+                    with sender:  # heartbeats flow for the duration of the batch
+                        results = _evaluate_tasks(evaluator, message.tasks, slots, executor)
+                    if mesh_client is not None:
+                        # Fresh artifacts travel *before* the batch reply:
+                        # the ordered stream guarantees the coordinator has
+                        # absorbed them when the reply is parsed, so the
+                        # next machine's fetches already see them.
+                        mesh_client.flush()
+                finally:
+                    if mesh_client is not None:
+                        mesh_client.end_batch()
             except Exception as exc:
                 sender.send(
                     BatchFailure(
@@ -301,9 +372,19 @@ def serve(
                     )
                 )
                 continue  # the error was deterministic; keep serving
+            if mesh_client is not None and mesh_client.shutdown_seen:
+                # The coordinator shut down while we were mid-batch (its
+                # Shutdown frame surfaced inside a mesh round trip): exit
+                # cleanly instead of reporting a lost connection.
+                emit(f"worker {welcome.worker_id}: shutdown after {batches_done} batch(es)")
+                return 0
             sender.send(BatchResult(message.evaluator_id, results))
             batches_done += 1
     finally:
+        if mesh_client is not None:
+            # The caches are process-global and outlive this session; a
+            # dead session's client must not serve later lookups.
+            mesh_client.detach()
         if executor is not None:
             executor.shutdown(wait=False)
         try:
@@ -428,6 +509,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "store from arriving evaluators: no local "
                              "persistence, and the orchestrator's store path "
                              "is never created on this machine")
+    parser.add_argument("--connect-timeout", type=float,
+                        default=DEFAULT_CONNECT_TIMEOUT, metavar="SECONDS",
+                        help="deadline for the TCP connect plus handshake; a "
+                             "coordinator that never answers fails the "
+                             "attempt (and --reconnect backs off) instead of "
+                             f"hanging forever (default: "
+                             f"{DEFAULT_CONNECT_TIMEOUT:g})")
+    parser.add_argument("--no-mesh", action="store_true",
+                        help="do not join the coordinator's artifact mesh "
+                             "even when it serves one: no artifact fetches "
+                             "or pushes from this machine")
+    parser.add_argument("--mesh-budget-bytes", type=int, default=None,
+                        help="cap on this machine's total artifact-mesh "
+                             "transfer, both directions (default: the "
+                             "budget the coordinator advertises)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection log lines")
     return parser
@@ -440,6 +536,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--store-dir and --no-store are mutually exclusive")
     if args.store_max_bytes is not None and args.store_dir is None:
         parser.error("--store-max-bytes requires --store-dir")
+    if args.no_mesh and args.mesh_budget_bytes is not None:
+        parser.error("--mesh-budget-bytes and --no-mesh are mutually exclusive")
+    if args.connect_timeout is not None and args.connect_timeout <= 0:
+        parser.error("--connect-timeout must be > 0")
     log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
     try:
         return run_worker(
@@ -457,6 +557,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             store_dir=args.store_dir,
             store_max_bytes=args.store_max_bytes,
             no_store=args.no_store,
+            connect_timeout=args.connect_timeout,
+            mesh=not args.no_mesh,
+            mesh_budget_bytes=args.mesh_budget_bytes,
         )
     except ConnectionRefusedError:
         print(f"no coordinator listening at {args.connect}", file=sys.stderr)

@@ -101,6 +101,82 @@ def run_parallel_evaluation_speedup(
     }
 
 
+def _run_mesh_join_comparison(
+    jobs: Sequence[ProgramJob],
+    base: BinTunerConfig,
+    store_dir,
+) -> Optional[Dict[str, object]]:
+    """Cold join vs mesh join of a fresh machine, over a populated store.
+
+    Two distributed runs of the same campaign, each served by one worker
+    whose *local* store starts empty (the shape of a machine joining a
+    running campaign): without the mesh it re-pays every compile; with the
+    mesh serving ``store_dir`` its misses are fetched instead.  Returns
+    ``None`` on sandboxes without AF_INET loopback (the distributed
+    substrate cannot bind there at all).
+    """
+    import shutil
+    import socket
+    import tempfile
+    import threading
+
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+    except OSError:
+        return None
+
+    from repro.campaign import SharedWorkerPool
+    from repro.distrib.worker import serve
+
+    def joined_run(mesh: bool):
+        worker_dir = tempfile.mkdtemp(prefix="repro-mesh-worker-")
+        pool = SharedWorkerPool(
+            dispatch="distributed", mesh_store=store_dir if mesh else None
+        )
+        try:
+            worker = threading.Thread(
+                target=serve,
+                kwargs=dict(
+                    connect=pool.address_string(), hard_exit=False,
+                    store_dir=worker_dir,
+                ),
+                daemon=True,
+            )
+            worker.start()
+            pool.wait_for_workers(1, timeout=30)
+            campaign = Campaign(
+                jobs,
+                CampaignConfig(
+                    tuner=base, pipeline="staged", warm_start=True,
+                    store_dir=store_dir, dispatch="distributed", mesh=mesh,
+                ),
+            )
+            started = time.perf_counter()
+            result = campaign.run(pool=pool)
+            seconds = time.perf_counter() - started
+            mesh_stats = pool.mesh_stats()
+        finally:
+            pool.close()
+            shutil.rmtree(worker_dir, ignore_errors=True)
+        return result, seconds, mesh_stats
+
+    cold, cold_seconds, _no_mesh = joined_run(mesh=False)
+    warm, mesh_seconds, mesh_stats = joined_run(mesh=True)
+    stats = warm.evaluation_stats()
+    return {
+        "cold_join_seconds": cold_seconds,
+        "mesh_join_seconds": mesh_seconds,
+        "mesh_join_speedup": cold_seconds / mesh_seconds if mesh_seconds else 0.0,
+        "mesh_hits": stats.artifact_mesh_hits,
+        "mesh_hit_ratio": stats.artifact_mesh_hit_ratio,
+        "mesh_join_artifact_misses": stats.artifact_misses,
+        "identical_fingerprints": cold.fingerprint() == warm.fingerprint(),
+        "mesh": mesh_stats,
+    }
+
+
 def run_pipeline_comparison(
     family: str = "llvm",
     benchmarks: Sequence[str] = ("462.libquantum", "429.mcf"),
@@ -118,6 +194,13 @@ def run_pipeline_comparison(
     campaign whose only warmth is tier 2.  Reports wall clocks, the staged
     run's per-stage time split, tier-1/tier-2 artifact hit ratios, and the
     determinism verdict: all four database fingerprints must be identical.
+
+    The report's ``mesh_join`` section (``None`` on sandboxes without
+    loopback) extends the restart scenario across machines: a distributed
+    worker with an *empty* local store joins once without the artifact mesh
+    (cold join — it re-pays every compile) and once with the mesh serving
+    the populated campaign store (its misses are fetched from past work
+    instead), recording both wall clocks and the mesh hit ratio.
 
     ``store_dir`` defaults to a temporary directory cleaned up on return.
     """
@@ -151,6 +234,9 @@ def run_pipeline_comparison(
         # nothing else) over the same on-disk store.
         restart_cache = ArtifactCache(8192)
         restart, restart_seconds = run("staged", restart_cache, store_dir)
+        # The cross-machine variant of the restart, over the same populated
+        # store (skipped where loopback is unavailable).
+        mesh_join = _run_mesh_join_comparison(jobs, base, store_dir)
         # Snapshot every stat that scans the store directory before the
         # temp dir is deleted below.
         store_stats = (
@@ -193,4 +279,5 @@ def run_pipeline_comparison(
         "restart_artifact_misses": restart_stats.artifact_misses,
         "artifact_cache": cache_stats,
         "artifact_store": store_stats,
+        "mesh_join": mesh_join,
     }

@@ -69,6 +69,9 @@ class CandidateResult:
     #: Of ``artifact_hits``, how many were served by the disk-backed store
     #: (tier 2) rather than the in-memory LRU (tier 1).
     artifact_store_hits: int = 0
+    #: Of ``artifact_hits``, how many were served by the artifact mesh —
+    #: another machine's past work fetched through the coordinator.
+    artifact_mesh_hits: int = 0
     staged: bool = False
 
 
@@ -463,6 +466,10 @@ class EvaluationStats:
     #: Tier-2 share of ``artifact_hits``: artifacts served by the disk-backed
     #: store instead of the in-memory LRU — the "restarted warm" signal.
     artifact_store_hits: int = 0
+    #: Mesh share of ``artifact_hits``: artifacts served by another
+    #: machine's past work through the coordinator — the "joined warm"
+    #: signal of a distributed campaign.
+    artifact_mesh_hits: int = 0
 
     def since(self, baseline: "EvaluationStats") -> "EvaluationStats":
         """Counters accrued after ``baseline`` was snapshot (per-run stats)."""
@@ -480,6 +487,7 @@ class EvaluationStats:
             artifact_hits=self.artifact_hits - baseline.artifact_hits,
             artifact_misses=self.artifact_misses - baseline.artifact_misses,
             artifact_store_hits=self.artifact_store_hits - baseline.artifact_store_hits,
+            artifact_mesh_hits=self.artifact_mesh_hits - baseline.artifact_mesh_hits,
         )
 
     def add(self, other: "EvaluationStats") -> "EvaluationStats":
@@ -498,6 +506,7 @@ class EvaluationStats:
             artifact_hits=self.artifact_hits + other.artifact_hits,
             artifact_misses=self.artifact_misses + other.artifact_misses,
             artifact_store_hits=self.artifact_store_hits + other.artifact_store_hits,
+            artifact_mesh_hits=self.artifact_mesh_hits + other.artifact_mesh_hits,
         )
 
     @property
@@ -518,6 +527,12 @@ class EvaluationStats:
         """Share of stage lookups served by the *disk* tier specifically."""
         total = self.artifact_hits + self.artifact_misses
         return self.artifact_store_hits / total if total else 0.0
+
+    @property
+    def artifact_mesh_hit_ratio(self) -> float:
+        """Share of stage lookups served by the artifact *mesh* specifically."""
+        total = self.artifact_hits + self.artifact_misses
+        return self.artifact_mesh_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-safe counters (campaign manifests, the pipeline bench)."""
@@ -545,6 +560,7 @@ class EvaluationStats:
             "artifact hits": self.artifact_hits,
             "artifact hit ratio": round(self.artifact_hit_ratio, 3),
             "tier-2 hits": self.artifact_store_hits,
+            "mesh hits": self.artifact_mesh_hits,
         }
 
 
@@ -617,6 +633,7 @@ class EvaluationEngine:
                 self.stats.artifact_hits += result.artifact_hits
                 self.stats.artifact_misses += result.artifact_misses
                 self.stats.artifact_store_hits += result.artifact_store_hits
+                self.stats.artifact_mesh_hits += result.artifact_mesh_hits
             if not result.valid:
                 self.stats.invalid += 1
             self.database.record(

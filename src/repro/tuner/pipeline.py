@@ -73,8 +73,10 @@ DEFAULT_ARTIFACT_CACHE_SIZE = 1024
 PIPELINES = ("staged", "monolithic")
 
 
-#: :meth:`ArtifactCache.lookup` tiers: a miss, the in-memory LRU, the disk store.
-MISS_TIER, MEMORY_TIER, STORE_TIER = 0, 1, 2
+#: :meth:`ArtifactCache.lookup` tiers: a miss, the in-memory LRU, the disk
+#: store, and the artifact mesh (another machine's past work, served via the
+#: coordinator — see :mod:`repro.distrib.artifacts`).
+MISS_TIER, MEMORY_TIER, STORE_TIER, MESH_TIER = 0, 1, 2, 3
 
 
 class ArtifactCache:
@@ -104,8 +106,14 @@ class ArtifactCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.store = store
+        #: Optional third tier: a :class:`~repro.distrib.artifacts.
+        #: WorkerMeshClient` (or anything with ``fetch``/``offer``).  A
+        #: store miss falls through to it before the caller compiles, and
+        #: every fresh :meth:`put` is offered for the end-of-batch push.
+        self.mesh = None
         self.hits = 0
         self.store_hits = 0
+        self.mesh_hits = 0
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
@@ -133,6 +141,20 @@ class ArtifactCache:
                     self.store_hits += 1
                     self._insert(key, value)
                 return value, STORE_TIER
+        mesh = self.mesh
+        if mesh is not None:
+            value = mesh.fetch(key)
+            if value is not None:
+                # Another machine's past work, verified in flight.  Promote
+                # into memory and persist to the local disk tier directly —
+                # *not* via :meth:`put`, whose offer hook would push the
+                # entry straight back to the mesh it just came from.
+                with self._lock:
+                    self.mesh_hits += 1
+                    self._insert(key, value)
+                if store is not None:
+                    store.put(key, value)
+                return value, MESH_TIER
         with self._lock:
             self.misses += 1
         return None, MISS_TIER
@@ -170,6 +192,11 @@ class ArtifactCache:
             self._insert(key, value)
         if self.store is not None:
             self.store.put(key, value)
+        mesh = self.mesh
+        if mesh is not None:
+            # Freshly produced on this machine: offer it for the batched
+            # end-of-batch push so the rest of the fleet never re-pays it.
+            mesh.offer(key, value)
 
     def clear(self) -> None:
         """Drop the in-memory tier (the disk store, if any, is untouched)."""
@@ -182,8 +209,9 @@ class ArtifactCache:
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.store_hits + self.misses
-        return (self.hits + self.store_hits) / total if total else 0.0
+        served = self.hits + self.store_hits + self.mesh_hits
+        total = served + self.misses
+        return served / total if total else 0.0
 
     def stats(self) -> Dict[str, object]:
         """Counters for campaign summaries and the pipeline bench."""
@@ -192,6 +220,7 @@ class ArtifactCache:
             "max_entries": self.max_entries,
             "hits": self.hits,
             "store_hits": self.store_hits,
+            "mesh_hits": self.mesh_hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_ratio": round(self.hit_ratio, 4),
@@ -267,8 +296,9 @@ class TraceArtifact:
 class StageOutcome:
     """One stage execution: the artifact, its wall clock, and cache provenance.
 
-    ``from_store`` marks a hit served by the disk tier (``cached`` is True
-    for both tiers) — the counter behind the tier-2 accounting in
+    ``from_store`` marks a hit served by the disk tier and ``from_mesh``
+    one served by the artifact mesh (``cached`` is True for all hit tiers)
+    — the counters behind the tier-2/mesh accounting in
     :class:`~repro.tuner.evaluation.EvaluationStats`.
     """
 
@@ -276,6 +306,7 @@ class StageOutcome:
     seconds: float
     cached: bool
     from_store: bool = False
+    from_mesh: bool = False
 
 
 class CompileStage:
@@ -342,7 +373,8 @@ class CompileStage:
         artifact, tier = self.cache.lookup(cache_key)
         if artifact is not None:
             return StageOutcome(
-                artifact, time.perf_counter() - started, True, tier == STORE_TIER
+                artifact, time.perf_counter() - started, True,
+                tier == STORE_TIER, tier == MESH_TIER,
             )
         image = self.compiler.compile(self.source, flags, name=self.program).image
         compressed = len(self._compress(image.text)) if self._compress else None
@@ -382,7 +414,8 @@ class MeasureStage:
         artifact, tier = self.cache.lookup(cache_key)
         if artifact is not None:
             return StageOutcome(
-                artifact, time.perf_counter() - started, True, tier == STORE_TIER
+                artifact, time.perf_counter() - started, True,
+                tier == STORE_TIER, tier == MESH_TIER,
             )
         result = run_program(
             image, args=self.arguments, inputs=self.inputs, max_steps=self.max_steps
@@ -503,6 +536,21 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
             store_max_bytes=self.store_max_bytes,
         )
 
+    def attach_mesh(self, mesh) -> ArtifactCache:
+        """Hook this evaluator's cache up to the artifact mesh.
+
+        The distributed worker calls this right after unpickling an arriving
+        evaluator (and after any :meth:`attach_store` override), handing it
+        the session's :class:`~repro.distrib.artifacts.WorkerMeshClient`:
+        store misses then fall through to the coordinator before compiling,
+        and fresh artifacts are offered back.  Returns the cache that was
+        hooked, so the caller can unhook it when the session ends (the cache
+        is process-global and outlives the session).
+        """
+        cache = self.cache()
+        cache.mesh = mesh
+        return cache
+
     # -- stage construction -------------------------------------------------------
 
     def cache(self) -> ArtifactCache:
@@ -573,6 +621,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
         measure_seconds = 0.0
         measure_cached = False
         measure_from_store = False
+        measure_from_mesh = False
         measured = False
         try:
             if measure_stage is not None:
@@ -580,6 +629,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
                 measure_seconds = trace_outcome.seconds
                 measure_cached = trace_outcome.cached
                 measure_from_store = trace_outcome.from_store
+                measure_from_mesh = trace_outcome.from_mesh
                 measured = True
                 if trace_outcome.value.behaviour != self.baseline_behaviour:
                     raise CompilationError("tuned binary changed observable behaviour")
@@ -592,6 +642,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
                 artifact_hits=int(outcome.cached) + int(measure_cached),
                 artifact_misses=int(not outcome.cached) + int(measured and not measure_cached),
                 artifact_store_hits=int(outcome.from_store) + int(measure_from_store),
+                artifact_mesh_hits=int(outcome.from_mesh) + int(measure_from_mesh),
             )
         return CandidateResult(
             fitness=score_outcome.value,
@@ -605,6 +656,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
             artifact_hits=int(outcome.cached) + int(measure_cached),
             artifact_misses=int(not outcome.cached) + int(measured and not measure_cached),
             artifact_store_hits=int(outcome.from_store) + int(measure_from_store),
+            artifact_mesh_hits=int(outcome.from_mesh) + int(measure_from_mesh),
             staged=True,
         )
 
@@ -616,6 +668,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
         artifact_hits: int = 0,
         artifact_misses: int = 0,
         artifact_store_hits: int = 0,
+        artifact_mesh_hits: int = 0,
     ) -> CandidateResult:
         return CandidateResult(
             fitness=self.invalid_fitness,
@@ -628,6 +681,7 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
             artifact_hits=artifact_hits,
             artifact_misses=artifact_misses,
             artifact_store_hits=artifact_store_hits,
+            artifact_mesh_hits=artifact_mesh_hits,
             staged=True,
         )
 

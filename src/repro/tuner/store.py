@@ -158,6 +158,20 @@ class ArtifactStore:
         digest = hashlib.sha256(body).hexdigest().encode()
         return MAGIC + digest + b"\n" + body
 
+    # The mesh transfers entries in their on-disk encoding, so every hop
+    # re-runs the same digest + embedded-key verification as a local load —
+    # public aliases keep the distributed layer off the underscore names.
+
+    @classmethod
+    def encode_entry(cls, key: Tuple, value: object) -> bytes:
+        """The self-verifying wire/disk encoding of ``(key, value)``."""
+        return cls._encode(key, value)
+
+    @classmethod
+    def decode_entry(cls, payload: bytes, key: Tuple) -> Tuple[Optional[object], bool]:
+        """Verify and decode an encoded entry; ``ok=False`` reads as a miss."""
+        return cls._decode(payload, key)
+
     @staticmethod
     def _decode(payload: bytes, key: Tuple) -> Tuple[Optional[object], bool]:
         """``(value, ok)``; ``ok=False`` marks a corrupt/foreign entry.
@@ -222,6 +236,10 @@ class ArtifactStore:
             payload = self._encode(key, value)
         except Exception:
             return False
+        return self._write_payload(key, payload)
+
+    def _write_payload(self, key: Tuple, payload: bytes) -> bool:
+        """Atomically land an already-encoded entry; shared by put paths."""
         path = self._entry_path(key)
         temporary = self._objects / (
             f"{TMP_PREFIX}{os.getpid()}-{next(self._tmp_counter)}-{path.name}"
@@ -259,6 +277,61 @@ class ArtifactStore:
         if over_budget or sweep:
             self.gc()
         return True
+
+    # -- the encoded-entry surface (artifact mesh) -------------------------------
+
+    def contains(self, key: Tuple) -> bool:
+        """Whether an entry file exists for ``key`` — no verification, no
+        counter traffic.  A present-but-corrupt entry answers ``True`` here
+        and then reads as a verified miss on the actual fetch, which costs
+        one wasted round trip, never a wrong artifact.
+        """
+        try:
+            return self._entry_path(key).is_file()
+        except OSError:
+            return False
+
+    def get_encoded(self, key: Tuple) -> Optional[bytes]:
+        """The verified encoded payload of ``key``, or ``None`` (miss).
+
+        Used to serve mesh fetches: the payload is re-verified here before
+        it travels (a corrupt entry is dropped, exactly as in :meth:`get`)
+        and verified again by the receiver on arrival.
+        """
+        path = self._entry_path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        _value, ok = self._decode(payload, key)
+        if not ok:
+            self._drop(path, corrupt=True)
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            os.utime(path)  # serving an entry refreshes LRU recency
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    def put_encoded(self, key: Tuple, payload: bytes) -> bool:
+        """Store an already-encoded entry, verifying it first; returns success.
+
+        The verification gate of the artifact plane: a pushed payload whose
+        digest, magic, or embedded key does not match is rejected here —
+        tampering or transfer corruption never lands in the store.
+        """
+        _value, ok = self._decode(payload, key)
+        if not ok:
+            with self._lock:
+                self.corrupt_dropped += 1
+            return False
+        return self._write_payload(key, payload)
 
     def _make_directories(self) -> None:
         """Create the store layout, owner-only.

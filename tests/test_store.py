@@ -184,6 +184,69 @@ class TestCrashAndCorruption:
         assert store.get(key) == "artifact"
 
 
+class TestEncodedEntrySurface:
+    """The mesh-facing surface: entries travel in their on-disk encoding and
+    every receiver re-verifies before storing or using them — tampering,
+    corruption, and key aliasing all read as a *miss*, never as a wrong
+    artifact (the tentpole's by-construction poisoning defense)."""
+
+    KEY = ("image", "llvm", "1.0", "srcdigest", "lzma", ("-dce",))
+
+    def test_encode_decode_round_trip(self):
+        payload = ArtifactStore.encode_entry(self.KEY, {"blob": b"\x00\x01"})
+        value, ok = ArtifactStore.decode_entry(payload, self.KEY)
+        assert ok and value == {"blob": b"\x00\x01"}
+
+    def test_flipped_byte_reads_as_verified_miss(self):
+        payload = bytearray(ArtifactStore.encode_entry(self.KEY, "artifact"))
+        payload[-1] ^= 0xFF
+        value, ok = ArtifactStore.decode_entry(bytes(payload), self.KEY)
+        assert not ok and value is None
+
+    def test_aliased_key_reads_as_verified_miss(self):
+        """A payload whose digest is intact but whose embedded key is not
+        the requested one (an aliasing push) must not decode."""
+        payload = ArtifactStore.encode_entry(("image", "other"), "foreign")
+        value, ok = ArtifactStore.decode_entry(payload, self.KEY)
+        assert not ok and value is None
+
+    def test_put_encoded_rejects_tampering(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        good = ArtifactStore.encode_entry(self.KEY, "artifact")
+        flipped = bytearray(good)
+        flipped[-1] ^= 0xFF
+        assert not store.put_encoded(self.KEY, bytes(flipped))
+        assert not store.put_encoded(
+            self.KEY, ArtifactStore.encode_entry(("image", "other"), "foreign")
+        )
+        assert not store.put_encoded(self.KEY, b"garbage")
+        assert store.corrupt_dropped == 3
+        assert not store.contains(self.KEY)  # nothing ever landed
+        assert store.put_encoded(self.KEY, good)  # the honest payload does
+        assert store.get(self.KEY) == "artifact"
+
+    def test_get_encoded_verifies_and_drops_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(self.KEY, "artifact")
+        assert store.get_encoded(self.KEY) == ArtifactStore.encode_entry(
+            self.KEY, "artifact"
+        )
+        entry_files(store)[0].write_bytes(b"rotted")
+        assert store.get_encoded(self.KEY) is None
+        assert store.corrupt_dropped == 1
+        assert not store.contains(self.KEY)  # dropped, like get()
+
+    def test_contains_is_existence_only(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert not store.contains(self.KEY)
+        store.put(self.KEY, "artifact")
+        hits, misses = store.hits, store.misses
+        assert store.contains(self.KEY)
+        # No verification and no counter traffic: a membership probe must
+        # stay cheap enough to answer for whole batches at a time.
+        assert (store.hits, store.misses) == (hits, misses)
+
+
 class TestGarbageCollection:
     def _put_sized(self, store, name, size, mtime):
         key = ("image", name)
