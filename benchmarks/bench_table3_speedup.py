@@ -2,9 +2,10 @@
 plus the evaluation-engine serial-vs-parallel wall-clock / cache-hit report
 and the staged-vs-monolithic pipeline comparison (per-stage wall clock,
 artifact-cache hit ratio, plus the cold-vs-warm-*restart* wall clock,
-tier-2 disk-store hit ratio, and the cold-join-vs-mesh-join wall clock and
-mesh hit ratio of a fresh machine joining over the artifact mesh; exported
-to ``$REPRO_BENCH_PIPELINE_JSON`` for the CI artifact)."""
+tier-2 disk-store hit ratio, the cold-join-vs-mesh-join wall clock and
+mesh hit ratio of a fresh machine joining over the artifact mesh, and the
+telemetry overhead — enabled-vs-disabled wall clock of the same rerun;
+exported to ``$REPRO_BENCH_PIPELINE_JSON`` for the CI artifact)."""
 
 import json
 import os
@@ -96,6 +97,14 @@ def test_pipeline_comparison(benchmark, tuning_config, bench_benchmarks):
     # The restart must be served by the *disk* tier: nothing recompiled.
     assert report["restart_artifact_misses"] == 0
     assert report["restart_tier2_hits"] > 0
+    observed = report["telemetry"]
+    print(f"  telemetry   {observed['enabled_seconds']:7.2f}s enabled vs "
+          f"{observed['disabled_seconds']:.2f}s disabled "
+          f"(overhead ratio {observed['overhead_ratio']:.3f}, "
+          f"{observed['events']} events recorded)")
+    # Observe-only: recording every span must not change a single record.
+    assert observed["identical_fingerprints"]
+    assert observed["events"] > 0
     mesh = report["mesh_join"]
     if mesh is None:
         print("  mesh join: skipped (no AF_INET loopback in this sandbox)")

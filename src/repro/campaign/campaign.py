@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.backend.binary import BinaryImage
 from repro.compilers import SimGCC, SimLLVM
 from repro.compilers.base import Compiler
@@ -146,6 +147,14 @@ class CampaignConfig:
     warm_start_limit: int = 4
     #: Where checkpoints live; ``None`` disables checkpointing.
     checkpoint_dir: Optional[Path] = None
+    #: Directory for structured telemetry (:mod:`repro.telemetry`).  When
+    #: set, ``run()`` installs a :class:`~repro.telemetry.JsonlSink` there
+    #: for the duration of the campaign; workers of a distributed fleet
+    #: additionally forward compact summaries to the coordinator.  Telemetry
+    #: is observe-only — fingerprints, checkpoints, and recorded results are
+    #: bit-for-bit identical with it on or off.  ``None`` (the default)
+    #: keeps the zero-cost null sink.
+    telemetry_dir: Optional[Path] = None
 
 
 @dataclass
@@ -452,7 +461,15 @@ class Campaign:
             tuner.evaluation_engine().on_batch = (
                 lambda _engine: self.database.save_shard(job.family, job.program, database_dir)
             )
-        result = tuner.run()
+        with telemetry.get_sink().span(
+            "campaign.job", family=job.family, program=job.program
+        ) as span:
+            result = tuner.run()
+            span.set(
+                iterations=result.iterations,
+                best_fitness=result.best_fitness,
+                warm_seeds=len(warm),
+            )
         return ProgramResult(
             job=job,
             best_flags=tuple(result.best_flags.sorted_names()),
@@ -508,7 +525,35 @@ class Campaign:
         An injected ``pool`` (e.g. a distributed pool whose coordinator
         address the caller needed before any worker could connect) is used
         as-is and *not* closed — its lifetime belongs to the caller.
+
+        With :attr:`CampaignConfig.telemetry_dir` set, a JSONL telemetry
+        sink is installed for the duration of the run (and restored after).
+        Telemetry is observe-only: it never feeds fingerprints, checkpoints,
+        or recorded results.
         """
+        sink: Optional[telemetry.JsonlSink] = None
+        previous: Optional[object] = None
+        if self.config.telemetry_dir is not None:
+            sink = telemetry.JsonlSink(
+                Path(self.config.telemetry_dir), label="campaign"
+            )
+            previous = telemetry.set_sink(sink)
+        try:
+            with telemetry.get_sink().span(
+                "campaign.run", campaign=self.config.name, jobs=len(self.jobs)
+            ):
+                return self._run(limit=limit, resume=resume, pool=pool)
+        finally:
+            if sink is not None:
+                telemetry.set_sink(previous)
+                sink.close()
+
+    def _run(
+        self,
+        limit: Optional[int] = None,
+        resume: bool = True,
+        pool: Optional[SharedWorkerPool] = None,
+    ) -> CampaignResult:
         started = time.perf_counter()
         if resume:
             completed = self._load_checkpoint()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import socket
 import sys
@@ -38,8 +39,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.campaign.campaign import Campaign, CampaignConfig, ProgramJob, DATABASE_DIR
 from repro.campaign.database import CampaignDatabase
+from repro.distrib.worker import configure_logging
 from repro.tuner import BinTunerConfig, EvaluationStats, GAParameters
 from repro.workloads import SUITES
+
+logger = logging.getLogger("repro.campaign.cli")
 
 #: Subcommands in front of the default run mode (``argv[0]`` dispatch keeps
 #: every pre-existing flag invocation working unchanged).
@@ -122,6 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable cross-program warm-start seeding")
     parser.add_argument("--json", type=Path, default=None, dest="json_out",
                         help="write the summary (rows + aggregates) to this JSON file")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        help="write structured telemetry (spans, counters, "
+                             "fleet summaries) as JSONL under this directory; "
+                             "inspect with python -m repro.telemetry report. "
+                             "Observe-only: results and fingerprints are "
+                             "identical with or without it")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level progress lines on stderr")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines on stderr (the summary "
+                             "tables on stdout are unaffected)")
     return parser
 
 
@@ -150,6 +165,7 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
         mesh_budget_bytes=args.mesh_budget_bytes,
         warm_start=not args.no_warm_start,
         checkpoint_dir=args.checkpoint_dir,
+        telemetry_dir=args.telemetry_dir,
         **pipeline_knobs,
     )
     families = [family for family in args.families.split(",") if family]
@@ -186,15 +202,20 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
                          "(--store-dir or --checkpoint-dir)")
     if args.mesh_budget_bytes is not None and not args.mesh:
         parser.error("--mesh-budget-bytes requires --mesh")
+    if args.verbose and args.quiet:
+        parser.error("--verbose and --quiet are mutually exclusive")
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     campaign = _build_campaign(args)
     jobs = campaign.jobs
     if not jobs:
-        print("no jobs to run (empty suite/family selection)", file=sys.stderr)
+        logger.error("no jobs to run (empty suite/family selection)")
         return 2
     dispatch = args.dispatch or args.executor
-    print(f"campaign: {len(jobs)} jobs "
-          f"({dispatch} dispatch, {args.workers} worker{'s' if args.workers != 1 else ''}, "
-          f"warm-start {'off' if args.no_warm_start else 'on'})")
+    logger.info(
+        "campaign: %d jobs (%s dispatch, %d worker%s, warm-start %s)",
+        len(jobs), dispatch, args.workers, "s" if args.workers != 1 else "",
+        "off" if args.no_warm_start else "on",
+    )
     pool = None
     try:
         if dispatch == "distributed":
@@ -217,20 +238,25 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             else:
                 connect, note = bound, ""
             authhint = " --authkey ..." if args.authkey else ""
-            print(f"coordinator listening on {connect}{note} — start workers with\n"
-                  f"  python -m repro.distrib.worker --connect {connect}{authhint}")
+            logger.info(
+                "coordinator listening on %s%s — start workers with\n"
+                "  python -m repro.distrib.worker --connect %s%s",
+                connect, note, connect, authhint,
+            )
             if args.mesh:
                 budget = (f", per-machine budget {args.mesh_budget_bytes} bytes"
                           if args.mesh_budget_bytes is not None else "")
-                print(f"artifact mesh on: serving {campaign.store_dir}{budget}")
+                logger.info("artifact mesh on: serving %s%s", campaign.store_dir, budget)
             if args.min_workers > 0:
-                print(f"waiting for {args.min_workers} worker(s)...")
+                logger.info("waiting for %d worker(s)...", args.min_workers)
                 pool.wait_for_workers(args.min_workers,
                                       timeout=campaign.config.worker_wait_timeout)
         result = campaign.run(limit=args.limit, resume=not args.fresh, pool=pool)
         # Snapshot before the finally below closes the pool (and with it the
-        # coordinator that owns the artifact plane's counters).
+        # coordinator that owns the artifact plane's counters and the fleet
+        # telemetry registry).
         mesh_summary = pool.mesh_stats() if pool is not None else None
+        fleet = pool.fleet_telemetry() if pool is not None else None
     finally:
         if pool is not None:
             pool.close()
@@ -297,6 +323,20 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
               f"{mesh_summary['fetches_missed']} missed, "
               f"{mesh_summary['bytes_in']}B in / {mesh_summary['bytes_out']}B out"
               f"{denied}")
+    if fleet:
+        print("fleet utilization:")
+        for row in fleet:
+            busy = float(row.get("busy_seconds", 0.0) or 0.0)
+            uptime = float(row.get("uptime_seconds", 0.0) or 0.0)
+            utilization = busy / uptime if uptime > 0 else 0.0
+            mesh_bytes = (int(row.get("mesh_bytes_sent", 0) or 0)
+                          + int(row.get("mesh_bytes_received", 0) or 0))
+            print(f"  worker {row.get('worker_id', '?'):>3} "
+                  f"({row.get('peer', '?')}): "
+                  f"{row.get('batches', 0)} batches / "
+                  f"{row.get('candidates', 0)} candidates, "
+                  f"busy {busy:.1f}s of {uptime:.1f}s "
+                  f"({utilization:.0%}), mesh {mesh_bytes}B")
     print(f"database fingerprint: {result.fingerprint()}")
     print(f"elapsed: {result.elapsed_seconds:.1f}s over {result.database.total_records()} records")
 
@@ -311,6 +351,8 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             "artifact_cache": result.artifact_cache_stats,
             "mesh": mesh_summary,
         }
+        if fleet is not None:
+            payload["fleet"] = fleet
         args.json_out.write_text(json.dumps(payload, indent=2))
     return 0
 

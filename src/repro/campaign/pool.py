@@ -233,6 +233,15 @@ class SharedWorkerPool:
         stats = getattr(self._coordinator, "mesh_stats", None)
         return stats() if stats is not None else None
 
+    def fleet_telemetry(self) -> Optional[List[Dict[str, object]]]:
+        """Latest per-worker telemetry rows, or ``None`` when this pool has
+        no coordinator.  Capture before :meth:`close`, like
+        :meth:`mesh_stats`."""
+        if self._coordinator is None:
+            return None
+        fleet = getattr(self._coordinator, "fleet_telemetry", None)
+        return fleet() if fleet is not None else None
+
     # -- mapper construction ----------------------------------------------------------
 
     def _ensure_executor(self):

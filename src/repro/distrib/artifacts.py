@@ -46,6 +46,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.distrib.errors import ConnectionClosed, ProtocolError
+from repro.telemetry import get_sink
 from repro.distrib.protocol import (
     ArtifactData,
     ArtifactFetch,
@@ -137,6 +138,9 @@ class CoordinatorArtifactPlane:
         with self._lock:
             self.fetches_served += 1
             self.bytes_out += len(payload)
+        sink = get_sink()
+        sink.incr("mesh.fetches_served")
+        sink.incr("mesh.bytes_out", len(payload))
 
     def _absorb_push(self, handle, entries) -> None:
         for key, part_index, part_count, chunk in entries:
@@ -182,6 +186,9 @@ class CoordinatorArtifactPlane:
             if self.store.put_encoded(pending["key"], payload):
                 with self._lock:
                     self.pushes_accepted += 1
+                sink = get_sink()
+                sink.incr("mesh.pushes_accepted")
+                sink.incr("mesh.bytes_in", len(payload))
             else:
                 with self._lock:
                     self.pushes_rejected += 1
@@ -340,18 +347,22 @@ class WorkerMeshClient:
                 self._expire(f"{type(exc).__name__}: {exc}")
                 return None
         if payload is None:
+            get_sink().incr("mesh.fetch_misses")
             return None
         with self._state_lock:
             self.bytes_received += len(payload)
+        get_sink().incr("mesh.bytes_received", len(payload))
         value, ok = ArtifactStore.decode_entry(payload, key)
         if not ok:
             # Corruption or tampering in flight: a verified miss, by
             # construction — the caller falls through to compiling.
             with self._state_lock:
                 self.verify_failures += 1
+            get_sink().incr("mesh.verify_failures")
             return None
         with self._state_lock:
             self.fetch_hits += 1
+        get_sink().incr("mesh.fetch_hits")
         # The coordinator holds it; no point offering it back.
         self._known_remote.add(repr(key))
         return value
@@ -452,6 +463,9 @@ class WorkerMeshClient:
                     with self._state_lock:
                         self.pushes_sent += 1
                         self.bytes_sent += len(payload)
+                    sink = get_sink()
+                    sink.incr("mesh.pushes_sent")
+                    sink.incr("mesh.bytes_sent", len(payload))
                     self._known_remote.add(repr(key))
                 if quads:
                     self._sender.send(ArtifactPush(tuple(quads)))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import functools
 import itertools
+import logging
 import socket
 import threading
 from typing import Dict, List, Optional, Set, Tuple, Union
@@ -40,6 +41,7 @@ from repro.distrib.protocol import (
     Heartbeat,
     Hello,
     Shutdown,
+    TelemetrySummary,
     Welcome,
     authenticate,
     format_address,
@@ -47,6 +49,9 @@ from repro.distrib.protocol import (
     recv_message,
     send_message,
 )
+from repro.telemetry import get_sink
+
+logger = logging.getLogger("repro.distrib.coordinator")
 
 #: Upper bound on a worker's advertised slot count.  ``Hello.slots`` weights
 #: batch partitioning (the mapper materializes ``slots`` list entries per
@@ -80,6 +85,9 @@ class WorkerHandle:
         #: with the handle when the worker is discarded.
         self.mesh_bytes = 0
         self.mesh_parts: Dict[str, Dict] = {}
+        #: Latest :class:`~repro.distrib.protocol.TelemetrySummary` payload
+        #: this worker forwarded (observe-only; empty until the first one).
+        self.telemetry: Dict[str, object] = {}
 
     def __repr__(self) -> str:
         return (f"WorkerHandle(id={self.worker_id}, peer={self.peer!r}, "
@@ -144,6 +152,11 @@ class Coordinator:
         self._listener.listen(64)
         self.host, self.port = self._listener.getsockname()[:2]
         self._workers: Dict[int, WorkerHandle] = {}
+        #: Fleet telemetry: worker id -> latest summary payload (plus peer /
+        #: slots).  Kept separately from the registry so the fleet view of a
+        #: campaign outlives discarded workers.
+        self._fleet: Dict[int, Dict[str, object]] = {}
+        self._fleet_lock = threading.Lock()
         self._registry_lock = threading.Lock()
         self._joined = threading.Condition(self._registry_lock)
         self._worker_ids = itertools.count(1)
@@ -189,7 +202,12 @@ class Coordinator:
     def discard(self, handle: WorkerHandle) -> None:
         """Drop a dead worker: close its socket, remove it from the registry."""
         with self._registry_lock:
-            self._workers.pop(handle.worker_id, None)
+            dropped = self._workers.pop(handle.worker_id, None)
+        if dropped is not None:
+            logger.warning(
+                "worker %d (%s) discarded after %d completed batch(es)",
+                handle.worker_id, handle.peer, handle.batches_completed,
+            )
         try:
             handle.sock.close()
         except OSError:
@@ -225,12 +243,20 @@ class Coordinator:
                     worker_id,
                     mesh=plane is not None,
                     mesh_budget_bytes=plane.budget_bytes if plane is not None else None,
+                    telemetry=True,
                 ))
                 sock.settimeout(self.task_timeout)
-            except Exception:
+            except Exception as exc:
                 # One bad peer (version skew, scanner, crafted payload) must
                 # never take the accept thread — and with it all future
-                # registration — down.
+                # registration — down.  But a rejection must not be *silent*
+                # either: an operator whose worker never joins needs to see
+                # the auth failure / bad slots / protocol error here.
+                logger.warning(
+                    "rejected connection from %s: %s: %s",
+                    format_address(*peer[:2]), type(exc).__name__, exc,
+                )
+                get_sink().incr("coordinator.rejected_connections")
                 sock.close()
                 continue
             handle = WorkerHandle(worker_id, sock, hello.slots, format_address(*peer[:2]))
@@ -240,6 +266,11 @@ class Coordinator:
                     return
                 self._workers[worker_id] = handle
                 self._joined.notify_all()
+            logger.info(
+                "worker %d registered from %s with %d slot(s)",
+                worker_id, handle.peer, handle.slots,
+            )
+            get_sink().incr("coordinator.workers_registered")
 
     # -- the batch RPC ----------------------------------------------------------------
 
@@ -257,7 +288,9 @@ class Coordinator:
         """
         tasks = tuple(tasks)
         expected = {index for index, _key in tasks}
-        with handle.lock:
+        with get_sink().span(
+            "coordinator.rpc", worker=handle.worker_id, tasks=len(tasks)
+        ), handle.lock:
             try:
                 handle.sock.settimeout(
                     self.handshake_timeout + self.task_timeout * max(1, len(tasks))
@@ -274,6 +307,12 @@ class Coordinator:
                         # each frame restarts the socket's silence budget, so
                         # a batch may legitimately outlive the nominal
                         # per-task timeout as long as heartbeats keep coming.
+                        continue
+                    if isinstance(reply, TelemetrySummary):
+                        # Fleet telemetry interleaves like heartbeats:
+                        # absorb the snapshot and keep waiting for the batch
+                        # reply.  Observe-only by construction.
+                        self._absorb_telemetry(handle, reply)
                         continue
                     if isinstance(reply, EvaluatorMissing) and reply.evaluator_id == evaluator_id:
                         # The worker's bounded cache evicted this evaluator
@@ -324,6 +363,25 @@ class Coordinator:
         if self.artifact_plane is None:
             return None
         return self.artifact_plane.stats()
+
+    # -- fleet telemetry --------------------------------------------------------------
+
+    def _absorb_telemetry(self, handle: WorkerHandle, summary: TelemetrySummary) -> None:
+        payload = summary.payload if isinstance(summary.payload, dict) else {}
+        row: Dict[str, object] = {"worker_id": handle.worker_id, "peer": handle.peer}
+        row.update(payload)
+        with self._fleet_lock:
+            self._fleet[handle.worker_id] = row
+        get_sink().event("fleet.worker", **row)
+
+    def fleet_telemetry(self) -> List[Dict[str, object]]:
+        """Latest per-worker summary rows, ordered by worker id.
+
+        Includes workers that have since disconnected — the fleet view
+        describes the whole campaign, not just the current registry.
+        """
+        with self._fleet_lock:
+            return [dict(self._fleet[key]) for key in sorted(self._fleet)]
 
     # -- lifecycle --------------------------------------------------------------------
 

@@ -52,8 +52,8 @@ import os
 import pickle
 import socket
 import struct
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
 
 from repro.distrib.errors import AuthenticationError, ConnectionClosed, ProtocolError
 
@@ -81,13 +81,16 @@ class Welcome:
 
     ``mesh`` advertises whether this coordinator serves the artifact plane;
     ``mesh_budget_bytes`` is the per-machine transfer budget it enforces
-    (``None`` = unbounded).  Workers built against an older coordinator see
-    the defaults and simply never send artifact frames.
+    (``None`` = unbounded).  ``telemetry`` advertises that this coordinator
+    aggregates :class:`TelemetrySummary` frames.  Workers built against an
+    older coordinator see the defaults and simply never send the
+    corresponding frames.
     """
 
     worker_id: int
     mesh: bool = False
     mesh_budget_bytes: Optional[int] = None
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -141,6 +144,21 @@ class Heartbeat:
     """
 
     worker_id: int = 0
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """Worker → coordinator, interleaved ahead of a batch reply: a compact
+    snapshot of this session's utilization counters (slots, batches,
+    candidates, busy seconds, per-stage seconds, cache-tier hits, mesh
+    bytes).  Observe-only by construction — the coordinator records it for
+    the fleet view and never acts on it.  Sent only when the
+    :class:`Welcome` advertised ``telemetry=True``, so version skew in
+    either direction degrades to "no fleet view", never to an error.
+    """
+
+    worker_id: int
+    payload: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -223,7 +241,7 @@ def chunk_payload(payload: bytes) -> Tuple[bytes, ...]:
 
 MESSAGE_TYPES = (
     Hello, Welcome, EvalBatch, BatchResult, BatchFailure, EvaluatorMissing,
-    Heartbeat, Shutdown,
+    Heartbeat, TelemetrySummary, Shutdown,
     ArtifactHave, ArtifactHaveReply, ArtifactFetch, ArtifactData, ArtifactPush,
 )
 

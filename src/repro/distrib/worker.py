@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import logging
 import os
 import pickle
 import socket
@@ -67,6 +68,7 @@ from repro.distrib.protocol import (
     Heartbeat,
     Hello,
     Shutdown,
+    TelemetrySummary,
     Welcome,
     authenticate,
     normalize_authkey,
@@ -74,7 +76,11 @@ from repro.distrib.protocol import (
     recv_message,
     send_message,
 )
+from repro import telemetry
+from repro.telemetry import get_sink
 from repro.tuner.evaluation import EVALUATOR_CACHE_LIMIT, evaluate_keys, map_pipelined
+
+logger = logging.getLogger("repro.distrib.worker")
 
 #: Exit status of a ``--max-batches`` induced crash (distinct from clean 0).
 CRASH_EXIT_STATUS = 17
@@ -129,6 +135,67 @@ def _evaluate_tasks(evaluator, tasks, slots: int, executor) -> Tuple[Tuple[int, 
     return tuple(
         (index, value) for (index, _key), value in zip(tasks, values)
     )
+
+
+class _SessionTelemetry:
+    """One session's utilization counters, forwarded as compact
+    :class:`~repro.distrib.protocol.TelemetrySummary` frames.
+
+    Sums what each batch's :class:`~repro.tuner.evaluation.CandidateResult`
+    objects already carry (per-stage wall clock, cache-tier provenance) plus
+    wall-clock busy time, so the coordinator's fleet view costs the wire one
+    small dict per batch and the worker no extra measurement.  Observe-only:
+    nothing here feeds results, fingerprints, or scheduling.
+    """
+
+    def __init__(self, worker_id: int, slots: int) -> None:
+        self.worker_id = worker_id
+        self.slots = slots
+        self._started = time.perf_counter()
+        self.batches = 0
+        self.candidates = 0
+        self.busy_seconds = 0.0
+        self.compile_seconds = 0.0
+        self.measure_seconds = 0.0
+        self.score_seconds = 0.0
+        self.artifact_hits = 0
+        self.artifact_store_hits = 0
+        self.artifact_mesh_hits = 0
+        self.artifact_misses = 0
+
+    def absorb(self, results, busy_seconds: float) -> None:
+        self.batches += 1
+        self.candidates += len(results)
+        self.busy_seconds += busy_seconds
+        for _index, value in results:
+            self.compile_seconds += getattr(value, "compile_seconds", 0.0)
+            self.measure_seconds += getattr(value, "measure_seconds", 0.0)
+            self.score_seconds += getattr(value, "score_seconds", 0.0)
+            self.artifact_hits += getattr(value, "artifact_hits", 0)
+            self.artifact_store_hits += getattr(value, "artifact_store_hits", 0)
+            self.artifact_mesh_hits += getattr(value, "artifact_mesh_hits", 0)
+            self.artifact_misses += getattr(value, "artifact_misses", 0)
+
+    def payload(self, mesh_client: Optional[WorkerMeshClient]) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "slots": self.slots,
+            "batches": self.batches,
+            "candidates": self.candidates,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "uptime_seconds": round(time.perf_counter() - self._started, 6),
+            "compile_seconds": round(self.compile_seconds, 6),
+            "measure_seconds": round(self.measure_seconds, 6),
+            "score_seconds": round(self.score_seconds, 6),
+            "artifact_hits": self.artifact_hits,
+            "artifact_store_hits": self.artifact_store_hits,
+            "artifact_mesh_hits": self.artifact_mesh_hits,
+            "artifact_misses": self.artifact_misses,
+        }
+        if mesh_client is not None:
+            stats = mesh_client.stats()
+            data["mesh_bytes_sent"] = stats["bytes_sent"]
+            data["mesh_bytes_received"] = stats["bytes_received"]
+        return data
 
 
 class _HeartbeatSender:
@@ -299,6 +366,12 @@ def serve(
         #: the shared pool's per-process cache.
         evaluators: Dict[int, object] = {}
         batches_done = 0
+        # Forward fleet telemetry only when the coordinator advertised it:
+        # version skew in either direction degrades to "no fleet view".
+        session = (
+            _SessionTelemetry(welcome.worker_id, slots)
+            if getattr(welcome, "telemetry", False) else None
+        )
         while True:
             try:
                 message = recv_message(sock)
@@ -353,7 +426,16 @@ def serve(
                     mesh_client.begin_batch()
                 try:
                     with sender:  # heartbeats flow for the duration of the batch
-                        results = _evaluate_tasks(evaluator, message.tasks, slots, executor)
+                        busy_started = time.perf_counter()
+                        with get_sink().span(
+                            "worker.batch",
+                            worker=welcome.worker_id,
+                            tasks=len(message.tasks),
+                        ):
+                            results = _evaluate_tasks(
+                                evaluator, message.tasks, slots, executor
+                            )
+                        busy_seconds = time.perf_counter() - busy_started
                     if mesh_client is not None:
                         # Fresh artifacts travel *before* the batch reply:
                         # the ordered stream guarantees the coordinator has
@@ -378,7 +460,28 @@ def serve(
                 # cleanly instead of reporting a lost connection.
                 emit(f"worker {welcome.worker_id}: shutdown after {batches_done} batch(es)")
                 return 0
-            sender.send(BatchResult(message.evaluator_id, results))
+            if session is not None:
+                session.absorb(results, busy_seconds)
+                try:
+                    # Interleaved ahead of the reply, like heartbeats and
+                    # mesh pushes: the ordered stream guarantees the
+                    # coordinator absorbs it before parsing the reply.
+                    sender.send(
+                        TelemetrySummary(welcome.worker_id, session.payload(mesh_client))
+                    )
+                except Exception:
+                    # Telemetry must never fail a healthy batch; a real
+                    # transport loss surfaces on the BatchResult send below.
+                    pass
+            try:
+                sender.send(BatchResult(message.evaluator_id, results))
+            except ConnectionClosed:
+                # The coordinator vanished while we were evaluating (e.g. it
+                # gave up on this batch); a preceding interleaved frame may
+                # have already triggered the RST that surfaces here.  Same
+                # retryable loss as a failed read.
+                emit(f"worker {welcome.worker_id}: coordinator went away")
+                return CONNECTION_LOST_STATUS
             batches_done += 1
     finally:
         if mesh_client is not None:
@@ -422,19 +525,25 @@ def run_worker(
         raise ValueError(f"backoff_base must be > 0, got {backoff_base}")
     emit = log if log is not None else (lambda message: None)
     registered = threading.Event()
+    #: Last assigned worker id, so retry lines identify which fleet member
+    #: is flapping (``None`` until the first successful registration).
+    last_worker = {"id": None}
 
-    def on_registered(_worker_id: int) -> None:
+    def on_registered(worker_id: int) -> None:
+        last_worker["id"] = worker_id
         registered.set()
 
     delay = backoff_base
     failures = 0
     while True:
         registered.clear()
+        reason = "coordinator went away mid-session"
         try:
             status = serve(connect, log=log, on_registered=on_registered, **serve_kwargs)
         except (ConnectionRefusedError, OSError) as exc:
             if not reconnect:
                 raise
+            reason = f"{type(exc).__name__}: {exc}"
             emit(f"worker: cannot reach {connect}: {exc}")
             status = CONNECTION_LOST_STATUS
         if status != CONNECTION_LOST_STATUS or not reconnect:
@@ -445,11 +554,16 @@ def run_worker(
             delay = backoff_base
             failures = 0
         failures += 1
+        who = (
+            f"worker {last_worker['id']}" if last_worker["id"] is not None
+            else "worker (never registered)"
+        )
         if max_retries is not None and failures > max_retries:
-            emit(f"worker: giving up on {connect} after {max_retries} retries")
+            emit(f"{who}: giving up on {connect} after {max_retries} retries "
+                 f"(last failure: {reason})")
             return status
-        emit(f"worker: reconnecting to {connect} in {delay:.1f}s "
-             f"(attempt {failures})")
+        emit(f"{who}: reconnecting to {connect} in {delay:.1f}s "
+             f"(attempt {failures}; last failure: {reason})")
         time.sleep(delay)
         delay = min(delay * 2, backoff_cap)
 
@@ -524,9 +638,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap on this machine's total artifact-mesh "
                              "transfer, both directions (default: the "
                              "budget the coordinator advertises)")
+    parser.add_argument("--telemetry-dir", type=str, default=None,
+                        help="write this worker's local telemetry (spans, "
+                             "counters) as JSONL under this directory; "
+                             "readable with python -m repro.telemetry report")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level log lines on stderr")
     parser.add_argument("--quiet", action="store_true",
-                        help="suppress per-connection log lines")
+                        help="suppress per-connection log lines (warnings "
+                             "and errors still print)")
     return parser
+
+
+def configure_logging(verbose: bool = False, quiet: bool = False) -> None:
+    """Point the ``repro`` logger tree at stderr (idempotent).
+
+    Progress goes through :mod:`logging` so operators can tune it; stdout
+    stays reserved for machine-readable output (``--json`` etc.).
+    """
+    root = logging.getLogger("repro")
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+    if quiet:
+        root.setLevel(logging.WARNING)
+    elif verbose:
+        root.setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.INFO)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -540,7 +680,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--mesh-budget-bytes and --no-mesh are mutually exclusive")
     if args.connect_timeout is not None and args.connect_timeout <= 0:
         parser.error("--connect-timeout must be > 0")
-    log = None if args.quiet else (lambda message: print(message, file=sys.stderr, flush=True))
+    if args.verbose and args.quiet:
+        parser.error("--verbose and --quiet are mutually exclusive")
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    sink: Optional[telemetry.JsonlSink] = None
+    if args.telemetry_dir is not None:
+        sink = telemetry.JsonlSink(args.telemetry_dir, label="worker")
+        telemetry.set_sink(sink)
     try:
         return run_worker(
             args.connect,
@@ -551,7 +697,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_limit=args.cache_limit,
             max_batches=args.max_batches,
             hard_exit=True,
-            log=log,
+            log=logger.info,
             authkey=args.authkey,
             heartbeat_interval=args.heartbeat,
             store_dir=args.store_dir,
@@ -562,8 +708,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             mesh_budget_bytes=args.mesh_budget_bytes,
         )
     except ConnectionRefusedError:
-        print(f"no coordinator listening at {args.connect}", file=sys.stderr)
+        logger.error("no coordinator listening at %s", args.connect)
         return 2
+    finally:
+        if sink is not None:
+            telemetry.set_sink(None)
+            sink.close()
 
 
 if __name__ == "__main__":

@@ -210,11 +210,13 @@ def run_pipeline_comparison(
     base = config or BinTunerConfig(max_iterations=40, stall_window=24)
     jobs = [ProgramJob(family, name) for name in benchmarks]
 
-    def run(pipeline: str, cache: Optional[ArtifactCache] = None, store=None):
+    def run(pipeline: str, cache: Optional[ArtifactCache] = None, store=None,
+            telemetry_dir=None):
         campaign = Campaign(
             jobs,
             CampaignConfig(
-                tuner=base, pipeline=pipeline, warm_start=True, store_dir=store
+                tuner=base, pipeline=pipeline, warm_start=True, store_dir=store,
+                telemetry_dir=telemetry_dir,
             ),
             artifact_cache=cache,
         )
@@ -234,6 +236,32 @@ def run_pipeline_comparison(
         # nothing else) over the same on-disk store.
         restart_cache = ArtifactCache(8192)
         restart, restart_seconds = run("staged", restart_cache, store_dir)
+        # Telemetry overhead: the same warm rerun twice more — once on the
+        # default null sink, once with a JsonlSink recording every span —
+        # so the report carries both wall clocks, the event volume, and the
+        # observe-only verdict (identical fingerprints either way).
+        telemetry_dir = tempfile.mkdtemp(prefix="repro-pipeline-telemetry-")
+        try:
+            plain, plain_seconds = run("staged", cache, store_dir)
+            observed, observed_seconds = run(
+                "staged", cache, store_dir, telemetry_dir=telemetry_dir
+            )
+            from repro.telemetry.report import load_events
+
+            telemetry_events, _skipped = load_events(telemetry_dir)
+        finally:
+            shutil.rmtree(telemetry_dir, ignore_errors=True)
+        telemetry_report = {
+            "disabled_seconds": plain_seconds,
+            "enabled_seconds": observed_seconds,
+            "overhead_ratio": (
+                observed_seconds / plain_seconds if plain_seconds else 0.0
+            ),
+            "events": len(telemetry_events),
+            "identical_fingerprints": (
+                plain.fingerprint() == observed.fingerprint() == cold.fingerprint()
+            ),
+        }
         # The cross-machine variant of the restart, over the same populated
         # store (skipped where loopback is unavailable).
         mesh_join = _run_mesh_join_comparison(jobs, base, store_dir)
@@ -279,5 +307,6 @@ def run_pipeline_comparison(
         "restart_artifact_misses": restart_stats.artifact_misses,
         "artifact_cache": cache_stats,
         "artifact_store": store_stats,
+        "telemetry": telemetry_report,
         "mesh_join": mesh_join,
     }

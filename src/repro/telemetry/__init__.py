@@ -1,0 +1,353 @@
+"""Structured telemetry: spans, counters and gauges over bounded JSONL.
+
+The substrate spans processes and machines (engine -> staged pipeline ->
+two-tier store -> coordinator/worker fleet -> artifact mesh), and until now
+it was blind at runtime: per-stage timings existed only as scattered
+``perf_counter`` deltas folded into end-of-run aggregates.  This package is
+the observability plane those layers share:
+
+* a :class:`TelemetrySink` records **spans** (monotonic start + duration,
+  hierarchical parent ids per thread), **events** (point-in-time facts),
+  **counters** (a metrics registry behind the ad-hoc hit/miss tallies) and
+  **gauges** (sampled values);
+* the default sink is :data:`NULL_SINK`, whose every operation is a no-op
+  method call on a shared singleton — instrumented code pays essentially
+  nothing until a campaign installs a real sink;
+* :class:`JsonlSink` writes newline-delimited JSON to one file per process
+  under a run directory.  Appends are buffered and flushed as a single
+  ``os.write`` to an ``O_APPEND`` descriptor, so concurrent processes
+  sharing a directory (orchestrator + local workers) never interleave
+  partial lines.  The log is **bounded**: past ``max_events`` records are
+  counted as dropped, never written — telemetry must not be able to fill a
+  disk;
+* ``python -m repro.telemetry report RUN_DIR`` renders the per-stage time
+  breakdown, cache-tier hit ratios over time and the worker utilization
+  table from those files, and ``--chrome-trace out.json`` exports every
+  span in Chrome/Perfetto trace-event format (:mod:`repro.telemetry.report`).
+
+The hard invariant: telemetry *observes*, it never participates.  Nothing a
+sink records flows back into fingerprints, checkpoints or recorded results,
+so a campaign is bit-for-bit identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+SCHEMA_VERSION = 1
+
+#: Default cap on records written per sink (meta and the final metrics
+#: snapshot are exempt — they are the lines that make a truncated log
+#: interpretable).
+DEFAULT_MAX_EVENTS = 200_000
+
+#: Buffered records per flush: one ``os.write`` per this many events keeps
+#: the append atomic (whole lines only) without a syscall per span.
+FLUSH_EVERY = 128
+
+
+class NullSpan:
+    """The shared no-op span: reentrant, stateless, free to hand out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class NullSink:
+    """The zero-cost default: every operation is a no-op method call."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def incr(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def counters(self) -> Dict[str, float]:
+        return {}
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+class Span:
+    """One timed operation: enters the thread's span stack, records on exit.
+
+    ``set`` attaches attributes discovered *during* the operation (a cache
+    tier, an outcome count) — they land in the record alongside the attrs
+    the span was opened with.  Exceptions mark the span (``error``) and
+    propagate untouched.
+    """
+
+    __slots__ = ("_sink", "name", "attrs", "_started", "span_id", "parent_id")
+
+    def __init__(self, sink: "JsonlSink", name: str, attrs: Dict[str, object]) -> None:
+        self._sink = sink
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = self._sink._span_stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = next(self._sink._span_ids)
+        stack.append(self.span_id)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._started
+        stack = self._sink._span_stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._sink._record_span(self, duration)
+        return False
+
+
+class JsonlSink:
+    """Thread-safe sink writing one bounded JSONL file per process.
+
+    The file is ``{label}-{pid}.jsonl`` under ``directory``; a ``meta``
+    record written at open carries the pid, host and the wall-clock epoch
+    every monotonic timestamp in the file is relative to, so a reader can
+    place events from many processes on one timeline.  ``close`` flushes
+    the buffer and appends a ``metrics`` snapshot of the counter/gauge
+    registry (plus the dropped-record count).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        directory,
+        label: str = "events",
+        max_events: int = DEFAULT_MAX_EVENTS,
+        flush_every: int = FLUSH_EVERY,
+    ) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.label = label
+        self.path = self.directory / f"{label}-{os.getpid()}.jsonl"
+        self.max_events = max_events
+        self.dropped = 0
+        self._flush_every = max(1, flush_every)
+        self._written = 0
+        self._buffer: list = []
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._span_ids = itertools.count(1)
+        self._locals = threading.local()
+        self._closed = False
+        # The wall-clock epoch is recorded once; every event timestamp is
+        # perf_counter-relative to it, immune to clock steps mid-run.
+        self._wall_epoch = time.time()
+        self._perf_epoch = time.perf_counter()
+        self._fd = os.open(str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._write_lines([{
+            "type": "meta",
+            "version": SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "label": label,
+            "wall_epoch": self._wall_epoch,
+        }])
+
+    # -- recording --------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._perf_epoch
+
+    def _span_stack(self) -> list:
+        stack = getattr(self._locals, "stack", None)
+        if stack is None:
+            stack = self._locals.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def _record_span(self, span: Span, duration: float) -> None:
+        record = {
+            "type": "span",
+            "name": span.name,
+            "ts": round(span._started - self._perf_epoch, 6),
+            "dur": round(duration, 6),
+            "id": span.span_id,
+            "tid": threading.get_ident(),
+        }
+        if span.parent_id is not None:
+            record["parent"] = span.parent_id
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._append(record)
+
+    def event(self, name: str, **attrs) -> None:
+        record = {
+            "type": "event",
+            "name": name,
+            "ts": round(self._now(), 6),
+            "tid": threading.get_ident(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._append(record)
+
+    def incr(self, name: str, value: int = 1) -> None:
+        """Registry-only counter bump: cheap enough for per-lookup seams."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    # -- the bounded buffer -----------------------------------------------------------
+
+    def _append(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self._written + len(self._buffer) >= self.max_events:
+                self.dropped += 1
+                return
+            self._buffer.append(record)
+            if len(self._buffer) >= self._flush_every:
+                self._flush_locked()
+
+    def _write_lines(self, records) -> None:
+        """Serialize ``records`` and append them in one ``os.write``.
+
+        A single write to an ``O_APPEND`` descriptor lands at the file's
+        end atomically, so sinks in different processes sharing one
+        directory (or one inherited file) never interleave partial lines.
+        """
+        data = "".join(
+            json.dumps(record, separators=(",", ":"), default=str) + "\n"
+            for record in records
+        ).encode()
+        if data:
+            os.write(self._fd, data)
+
+    def _flush_locked(self) -> None:
+        buffer, self._buffer = self._buffer, []
+        self._written += len(buffer)
+        self._write_lines(buffer)
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._flush_locked()
+
+    @property
+    def events_written(self) -> int:
+        with self._lock:
+            return self._written + len(self._buffer)
+
+    def close(self) -> None:
+        """Flush, append the metrics snapshot, release the descriptor."""
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            snapshot = {
+                "type": "metrics",
+                "ts": round(self._now(), 6),
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "events": self._written,
+                "dropped": self.dropped,
+            }
+            self._write_lines([snapshot])
+            self._closed = True
+            os.close(self._fd)
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The process-global sink
+# ---------------------------------------------------------------------------
+#
+# Instrumented seams read the sink at call time via get_sink(), so a
+# campaign installing a JsonlSink lights up every layer below it — engine,
+# stages, caches, coordinator — without threading a sink argument through
+# each constructor.  The default is the null sink; nothing writes until
+# something opts in.
+
+_SINK_LOCK = threading.Lock()
+_SINK: NullSink = NULL_SINK
+
+
+def get_sink():
+    """The process-global sink (the null sink unless one was installed)."""
+    return _SINK
+
+
+def set_sink(sink) -> object:
+    """Install ``sink`` (``None`` restores the null sink); returns the
+    previous sink so callers can restore it in a ``finally``."""
+    global _SINK
+    with _SINK_LOCK:
+        previous = _SINK
+        _SINK = sink if sink is not None else NULL_SINK
+        return previous
+
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "JsonlSink",
+    "NULL_SINK",
+    "NullSink",
+    "SCHEMA_VERSION",
+    "Span",
+    "get_sink",
+    "set_sink",
+]

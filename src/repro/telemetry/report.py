@@ -1,0 +1,333 @@
+"""Consume telemetry JSONL: the report tables and the chrome-trace export.
+
+``python -m repro.telemetry report RUN_DIR`` reads every ``*.jsonl`` file a
+run's sinks wrote into ``RUN_DIR`` (orchestrator, local workers, remote
+workers pointed at their own directories and copied in afterwards) and
+prints:
+
+* the per-stage/per-span time breakdown (count, total and mean wall clock);
+* artifact-cache tier hit ratios *over time*, bucketed by engine
+  generation — the line where "the store went warm" or "the mesh kicked
+  in" becomes visible;
+* the worker utilization table, from the ``fleet.worker`` events the
+  coordinator records as workers forward their periodic
+  :class:`~repro.distrib.protocol.TelemetrySummary` frames;
+* the merged counter registry (the unified hit/miss metrics).
+
+``--chrome-trace out.json`` exports every span as a Chrome trace-event
+(``ph: "X"``) with microsecond timestamps on a shared wall-clock timeline,
+loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Readers are deliberately forgiving: a malformed line (a crash mid-append, a
+partial copy) is counted and skipped, never fatal — a truncated log must
+still report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def load_events(run_dir) -> Tuple[List[Dict[str, object]], int]:
+    """Parse every ``*.jsonl`` under ``run_dir`` into one event list.
+
+    Each record gains ``pid`` and ``wall_ts`` (its file's ``meta`` epoch
+    plus the record's monotonic ``ts``) so events from different processes
+    sort onto one timeline.  Returns ``(events, skipped_line_count)``.
+    """
+    run_dir = Path(run_dir)
+    events: List[Dict[str, object]] = []
+    skipped = 0
+    for path in sorted(run_dir.glob("*.jsonl")):
+        pid = None
+        wall_epoch = 0.0
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            if record.get("type") == "meta":
+                # A file appended to by several sessions restarts its
+                # monotonic clock at each meta line; track the latest.
+                pid = record.get("pid")
+                wall_epoch = float(record.get("wall_epoch", 0.0))
+            record.setdefault("pid", pid if pid is not None else 0)
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                record["wall_ts"] = wall_epoch + float(ts)
+            events.append(record)
+    events.sort(key=lambda record: record.get("wall_ts", 0.0))
+    return events, skipped
+
+
+def spans(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [record for record in events if record.get("type") == "span"]
+
+
+def span_breakdown(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-span-name totals, sorted by total duration, longest first."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for record in spans(events):
+        name = str(record.get("name"))
+        entry = totals.setdefault(name, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += float(record.get("dur", 0.0))
+    rows = [
+        {
+            "name": name,
+            "count": int(entry["count"]),
+            "seconds": entry["seconds"],
+            "mean_ms": 1000.0 * entry["seconds"] / entry["count"] if entry["count"] else 0.0,
+        }
+        for name, entry in totals.items()
+    ]
+    rows.sort(key=lambda row: -row["seconds"])
+    return rows
+
+
+#: Attribute names of the per-generation artifact-tier deltas the engine
+#: records on its ``engine.generation`` spans.
+_TIER_FIELDS = (
+    "artifact_hits", "artifact_store_hits", "artifact_mesh_hits", "artifact_misses",
+)
+
+
+def tier_ratio_rows(
+    events: Sequence[Dict[str, object]], buckets: int = 8
+) -> List[Dict[str, object]]:
+    """Cache-tier hit ratios over time, from ``engine.generation`` spans.
+
+    Generations are grouped into at most ``buckets`` contiguous windows in
+    timeline order (interleaving every program of a campaign), each row
+    reporting the share of stage lookups served per tier in that window.
+    """
+    generations = [
+        record.get("attrs", {})
+        for record in spans(events)
+        if record.get("name") == "engine.generation"
+    ]
+    generations = [
+        attrs for attrs in generations
+        if isinstance(attrs, dict) and any(field in attrs for field in _TIER_FIELDS)
+    ]
+    if not generations:
+        return []
+    buckets = max(1, min(buckets, len(generations)))
+    size, extra = divmod(len(generations), buckets)
+    rows: List[Dict[str, object]] = []
+    start = 0
+    for index in range(buckets):
+        width = size + (1 if index < extra else 0)
+        window = generations[start:start + width]
+        start += width
+        sums = {field: sum(int(attrs.get(field, 0)) for attrs in window)
+                for field in _TIER_FIELDS}
+        lookups = sum(sums.values())
+        rows.append({
+            "generations": f"{start - width + 1}-{start}",
+            "lookups": lookups,
+            "tier1_ratio": sums["artifact_hits"] / lookups if lookups else 0.0,
+            "tier2_ratio": sums["artifact_store_hits"] / lookups if lookups else 0.0,
+            "mesh_ratio": sums["artifact_mesh_hits"] / lookups if lookups else 0.0,
+            "miss_ratio": sums["artifact_misses"] / lookups if lookups else 0.0,
+        })
+    return rows
+
+
+def worker_rows(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Latest ``fleet.worker`` snapshot per worker id, ordered by id."""
+    latest: Dict[int, Dict[str, object]] = {}
+    for record in events:
+        if record.get("type") != "event" or record.get("name") != "fleet.worker":
+            continue
+        attrs = record.get("attrs")
+        if not isinstance(attrs, dict) or "worker_id" not in attrs:
+            continue
+        latest[int(attrs["worker_id"])] = attrs
+    rows = []
+    for worker_id in sorted(latest):
+        attrs = latest[worker_id]
+        uptime = float(attrs.get("uptime_seconds", 0.0))
+        busy = float(attrs.get("busy_seconds", 0.0))
+        rows.append({
+            "worker_id": worker_id,
+            "peer": attrs.get("peer", "?"),
+            "slots": int(attrs.get("slots", 1)),
+            "batches": int(attrs.get("batches", 0)),
+            "candidates": int(attrs.get("candidates", 0)),
+            "busy_seconds": busy,
+            "uptime_seconds": uptime,
+            "utilization": busy / uptime if uptime else 0.0,
+            "mesh_bytes": int(attrs.get("mesh_bytes_sent", 0))
+            + int(attrs.get("mesh_bytes_received", 0)),
+        })
+    return rows
+
+
+def merged_counters(events: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Sum of every ``metrics`` snapshot's counters across processes."""
+    totals: Dict[str, float] = {}
+    for record in events:
+        if record.get("type") != "metrics":
+            continue
+        counters = record.get("counters")
+        if not isinstance(counters, dict):
+            continue
+        for name, value in counters.items():
+            if isinstance(value, (int, float)):
+                totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+# ---------------------------------------------------------------------------
+
+def chrome_trace(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Spans as Chrome trace-event JSON (complete events, ``ph: "X"``).
+
+    Timestamps are microseconds from the earliest event on the merged
+    wall-clock timeline, so spans from every process of a run line up in
+    one view.  Each event carries the full required key set — ``name``,
+    ``ph``, ``ts``, ``dur``, ``pid``, ``tid`` — plus the span's attributes
+    as ``args``.
+    """
+    all_spans = spans(events)
+    origin = min(
+        (record.get("wall_ts", 0.0) for record in all_spans), default=0.0
+    )
+    trace_events = []
+    for record in all_spans:
+        entry = {
+            "name": record.get("name", "?"),
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(1e6 * (float(record.get("wall_ts", 0.0)) - origin), 3),
+            "dur": round(1e6 * float(record.get("dur", 0.0)), 3),
+            "pid": int(record.get("pid", 0)),
+            "tid": int(record.get("tid", 0)),
+        }
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict) and attrs:
+            entry["args"] = attrs
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ---------------------------------------------------------------------------
+# The CLI
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Report on (and export) a run's telemetry JSONL.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="print the stage/tier/fleet breakdown of a telemetry dir"
+    )
+    report.add_argument("run_dir", type=Path,
+                        help="a campaign --telemetry-dir (any directory of "
+                             "telemetry *.jsonl files)")
+    report.add_argument("--buckets", type=int, default=8,
+                        help="time windows in the tier-ratio table (default: 8)")
+    report.add_argument("--chrome-trace", type=Path, default=None, metavar="OUT.json",
+                        help="additionally export every span in Chrome/Perfetto "
+                             "trace-event format (load in chrome://tracing or "
+                             "ui.perfetto.dev)")
+    report.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write the report tables to this JSON file")
+    return parser
+
+
+def report_main(args) -> int:
+    events, skipped = load_events(args.run_dir)
+    if not events:
+        print(f"no telemetry events under {args.run_dir} (expected *.jsonl files)",
+              file=sys.stderr)
+        return 2
+    processes = sorted({record.get("pid", 0) for record in events})
+    print(f"telemetry: {len(events)} records from {len(processes)} process(es) "
+          f"under {args.run_dir}"
+          + (f" ({skipped} malformed lines skipped)" if skipped else ""))
+
+    breakdown = span_breakdown(events)
+    if breakdown:
+        print("\nper-stage time breakdown:")
+        print(f"  {'span':24s} {'count':>7s} {'total s':>9s} {'mean ms':>9s}")
+        for row in breakdown:
+            print(f"  {row['name']:24s} {row['count']:7d} "
+                  f"{row['seconds']:9.2f} {row['mean_ms']:9.2f}")
+
+    tiers = tier_ratio_rows(events, buckets=args.buckets)
+    if tiers:
+        print("\nartifact tier hit ratios over time (per stage lookup):")
+        print(f"  {'generations':>12s} {'lookups':>8s} {'tier-1':>7s} "
+              f"{'tier-2':>7s} {'mesh':>7s} {'miss':>7s}")
+        for row in tiers:
+            print(f"  {row['generations']:>12s} {row['lookups']:8d} "
+                  f"{row['tier1_ratio']:6.1%} {row['tier2_ratio']:6.1%} "
+                  f"{row['mesh_ratio']:6.1%} {row['miss_ratio']:6.1%}")
+
+    fleet = worker_rows(events)
+    if fleet:
+        print("\nworker utilization:")
+        print(f"  {'worker':>6s} {'peer':20s} {'slots':>5s} {'batches':>7s} "
+              f"{'cands':>6s} {'busy s':>7s} {'util':>6s} {'mesh B':>10s}")
+        for row in fleet:
+            print(f"  {row['worker_id']:6d} {str(row['peer']):20s} "
+                  f"{row['slots']:5d} {row['batches']:7d} {row['candidates']:6d} "
+                  f"{row['busy_seconds']:7.1f} {row['utilization']:5.1%} "
+                  f"{row['mesh_bytes']:10d}")
+
+    counters = merged_counters(events)
+    if counters:
+        print("\ncounters (all processes):")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            print(f"  {name:32s} {rendered}")
+
+    if args.chrome_trace is not None:
+        trace = chrome_trace(events)
+        args.chrome_trace.write_text(json.dumps(trace))
+        print(f"\nchrome trace: {len(trace['traceEvents'])} span(s) -> "
+              f"{args.chrome_trace} (load in chrome://tracing or ui.perfetto.dev)")
+
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps({
+            "records": len(events),
+            "processes": processes,
+            "breakdown": breakdown,
+            "tier_ratios": tiers,
+            "fleet": fleet,
+            "counters": counters,
+        }, indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "report":
+            return report_main(args)
+    except BrokenPipeError:
+        # The reader left (``report ... | head``): the conventional quiet
+        # exit, not a traceback.  Point stdout at devnull so the interpreter
+        # teardown's implicit flush cannot raise the same error again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    raise AssertionError(f"unhandled command {args.command!r}")

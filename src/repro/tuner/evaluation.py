@@ -30,8 +30,10 @@ import functools
 import itertools
 import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry import get_sink
 
 from repro.analysis.emulator import EmulationError, run_program
 from repro.backend.binary import BinaryImage
@@ -605,7 +607,43 @@ class EvaluationEngine:
         return self._mapper.workers
 
     def evaluate_batch(self, batch: Sequence[FlagVector]) -> List[float]:
-        """Evaluate a generation; returns scores aligned with ``batch``."""
+        """Evaluate a generation; returns scores aligned with ``batch``.
+
+        With a telemetry sink installed, every generation is recorded as an
+        ``engine.generation`` span carrying that batch's dedup and
+        artifact-tier deltas — the data behind the report's hit-ratios-over-
+        time table.  Telemetry only *observes* the stats counters; nothing
+        it touches reaches the database or any fingerprinted structure.
+        """
+        sink = get_sink()
+        if not sink.enabled:
+            return self._evaluate_batch(batch)
+        before = replace(self.stats)
+        with sink.span(
+            "engine.generation",
+            generation=self.stats.batches, requested=len(batch),
+        ) as span:
+            scores = self._evaluate_batch(batch)
+            delta = self.stats.since(before)
+            span.set(
+                evaluated=delta.evaluated,
+                database_hits=delta.database_hits,
+                intra_batch_hits=delta.intra_batch_hits,
+                invalid=delta.invalid,
+                worker_seconds=round(delta.worker_seconds, 6),
+                artifact_hits=delta.artifact_hits,
+                artifact_store_hits=delta.artifact_store_hits,
+                artifact_mesh_hits=delta.artifact_mesh_hits,
+                artifact_misses=delta.artifact_misses,
+            )
+        sink.incr("engine.batches")
+        sink.incr("engine.requested", len(batch))
+        sink.incr("engine.evaluated", delta.evaluated)
+        sink.incr("engine.database_hits", delta.database_hits)
+        sink.incr("engine.intra_batch_hits", delta.intra_batch_hits)
+        return scores
+
+    def _evaluate_batch(self, batch: Sequence[FlagVector]) -> List[float]:
         generation = self.stats.batches
         self.stats.batches += 1
         self.stats.requested += len(batch)

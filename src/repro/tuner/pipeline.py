@@ -56,6 +56,7 @@ from repro.backend.binary import BinaryImage
 from repro.compilers.base import CompilationError
 from repro.difftools.ncd import CachedNCDFitness
 from repro.opt.flags import FlagVector
+from repro.telemetry import get_sink
 from repro.tuner.constraints import ConstraintEngine, ConstraintViolation
 from repro.tuner.evaluation import (
     CandidateResult,
@@ -125,11 +126,18 @@ class ArtifactCache:
         Disk reads happen outside the memory lock — the store has its own
         synchronization, and a store read under this lock would stall the
         other pipeline lane for the duration of an unpickle.
+
+        Every outcome also bumps the telemetry metrics registry
+        (``artifact.*`` counters), which is the one place tier accounting
+        is unified across orchestrator, pool workers and remote machines —
+        the instance counters below stay per-cache.
         """
+        sink = get_sink()
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                sink.incr("artifact.memory_hits")
                 return self._entries[key], MEMORY_TIER
         store = self.store
         if store is not None:
@@ -140,6 +148,7 @@ class ArtifactCache:
                 with self._lock:
                     self.store_hits += 1
                     self._insert(key, value)
+                sink.incr("artifact.store_hits")
                 return value, STORE_TIER
         mesh = self.mesh
         if mesh is not None:
@@ -154,9 +163,11 @@ class ArtifactCache:
                     self._insert(key, value)
                 if store is not None:
                     store.put(key, value)
+                sink.incr("artifact.mesh_hits")
                 return value, MESH_TIER
         with self._lock:
             self.misses += 1
+        sink.incr("artifact.misses")
         return None, MISS_TIER
 
     def get(self, key: Tuple) -> Optional[object]:
@@ -188,6 +199,7 @@ class ArtifactCache:
             self.evictions += 1
 
     def put(self, key: Tuple, value: object) -> None:
+        get_sink().incr("artifact.puts")
         with self._lock:
             self._insert(key, value)
         if self.store is not None:
@@ -309,6 +321,15 @@ class StageOutcome:
     from_mesh: bool = False
 
 
+def _tier_label(outcome: StageOutcome) -> str:
+    """The serving tier of a cached outcome, as a telemetry span attribute."""
+    if outcome.from_mesh:
+        return "mesh"
+    if outcome.from_store:
+        return "store"
+    return "memory"
+
+
 class CompileStage:
     """Constraint check + compilation, content-addressed by configuration."""
 
@@ -361,6 +382,13 @@ class CompileStage:
         return artifact if isinstance(artifact, CompiledArtifact) else None
 
     def run(self, flag_key: FlagKey, check_constraints: bool = True) -> StageOutcome:
+        with get_sink().span("stage.compile", program=self.program) as span:
+            outcome = self._run(flag_key, check_constraints)
+            if outcome.cached:
+                span.set(tier=_tier_label(outcome))
+            return outcome
+
+    def _run(self, flag_key: FlagKey, check_constraints: bool = True) -> StageOutcome:
         started = time.perf_counter()
         # Constraints are verified *before* the cache is consulted, exactly
         # like the monolithic evaluator checks them before every compile: a
@@ -409,6 +437,13 @@ class MeasureStage:
         return ("trace", image.sha256(), self.arguments, self.inputs, self.max_steps)
 
     def run(self, image: BinaryImage) -> StageOutcome:
+        with get_sink().span("stage.measure") as span:
+            outcome = self._run(image)
+            if outcome.cached:
+                span.set(tier=_tier_label(outcome))
+            return outcome
+
+    def _run(self, image: BinaryImage) -> StageOutcome:
         started = time.perf_counter()
         cache_key = self.key(image)
         artifact, tier = self.cache.lookup(cache_key)
@@ -444,6 +479,10 @@ class ScoreStage:
         self.fitness = fitness
 
     def run(self, artifact: CompiledArtifact) -> StageOutcome:
+        with get_sink().span("stage.score"):
+            return self._run(artifact)
+
+    def _run(self, artifact: CompiledArtifact) -> StageOutcome:
         started = time.perf_counter()
         if (
             artifact.text_compressed_size is not None

@@ -52,6 +52,8 @@ from pathlib import Path
 from threading import Lock
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry import get_sink
+
 #: Default byte budget of a store's LRU garbage collection (256 MiB —
 #: thousands of compiled mini-C images; pass ``max_bytes=None`` to unbound).
 DEFAULT_STORE_MAX_BYTES = 256 * 1024 * 1024
@@ -204,18 +206,22 @@ class ArtifactStore:
 
     def get(self, key: Tuple) -> Optional[object]:
         """The stored value of ``key``, or ``None`` (miss) — never garbage."""
+        sink = get_sink()
         path = self._entry_path(key)
         try:
             payload = path.read_bytes()
         except OSError:
             with self._lock:
                 self.misses += 1
+            sink.incr("store.misses")
             return None
         value, ok = self._decode(payload, key)
         if not ok:
             self._drop(path, corrupt=True)
             with self._lock:
                 self.misses += 1
+            sink.incr("store.misses")
+            sink.incr("store.corrupt_dropped")
             return None
         try:
             os.utime(path)  # reads refresh LRU recency
@@ -223,6 +229,7 @@ class ArtifactStore:
             pass
         with self._lock:
             self.hits += 1
+        sink.incr("store.hits")
         return value
 
     def put(self, key: Tuple, value: object) -> bool:
@@ -262,6 +269,7 @@ class ArtifactStore:
             except OSError:
                 pass
             return False
+        get_sink().incr("store.puts")
         with self._lock:
             self.puts += 1
             if self._approx_bytes is None:
@@ -429,6 +437,7 @@ class ArtifactStore:
                     evicted += 1
                 with self._lock:
                     self.gc_evictions += evicted
+                get_sink().incr("store.gc_evictions", evicted)
             with self._lock:
                 self._approx_bytes = total
             self._write_index(
