@@ -105,6 +105,17 @@ def test_pipeline_comparison(benchmark, tuning_config, bench_benchmarks):
     # Observe-only: recording every span must not change a single record.
     assert observed["identical_fingerprints"]
     assert observed["events"] > 0
+    live = report["observability"]
+    scrape = ("scrape ok" if live["scrape_ok"]
+              else "scrape skipped (no loopback)" if live["scrape_ok"] is None
+              else "SCRAPE FAILED")
+    print(f"  observability {live['enabled_seconds']:5.2f}s with live "
+          f"/metrics + histograms vs {live['disabled_seconds']:.2f}s without "
+          f"(overhead ratio {live['overhead_ratio']:.3f}, {scrape})")
+    # The live plane is read-only too: same fingerprint, and where loopback
+    # exists the mid-run scrape must have returned real histogram series.
+    assert live["identical_fingerprints"]
+    assert live["scrape_ok"] is not False
     mesh = report["mesh_join"]
     if mesh is None:
         print("  mesh join: skipped (no AF_INET loopback in this sandbox)")
@@ -121,6 +132,23 @@ def test_pipeline_comparison(benchmark, tuning_config, bench_benchmarks):
         assert mesh["mesh_join_artifact_misses"] == 0
         assert mesh["mesh_hits"] > 0
         assert mesh["mesh"]["fetches_served"] > 0
-    out_path = os.environ.get("REPRO_BENCH_PIPELINE_JSON")
-    if out_path:
-        Path(out_path).write_text(json.dumps(report, indent=2))
+    # The pipeline snapshot lands in the repo-root trajectory file by
+    # default ($REPRO_BENCH_PIPELINE_JSON overrides), appending rather than
+    # overwriting so successive runs accumulate a comparable history.  A
+    # legacy single-snapshot file (one JSON object) is wrapped in place.
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_PIPELINE_JSON")
+        or Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    )
+    trajectory = []
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = []
+        if isinstance(previous, dict):
+            trajectory = [previous]
+        elif isinstance(previous, list):
+            trajectory = previous
+    trajectory.append(report)
+    out_path.write_text(json.dumps(trajectory, indent=2))

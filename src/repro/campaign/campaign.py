@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -155,6 +156,94 @@ class CampaignConfig:
     #: bit-for-bit identical with it on or off.  ``None`` (the default)
     #: keeps the zero-cost null sink.
     telemetry_dir: Optional[Path] = None
+    #: Port of the live observability HTTP server (``/metrics`` +
+    #: ``/status``); ``0`` binds an ephemeral port, ``None`` disables it.
+    #: With distributed dispatch the server is mounted on the coordinator
+    #: (fleet health included); the campaign CLI registers its progress
+    #: source either way.  Observe-only, like the JSONL sink.
+    obs_port: Optional[int] = None
+    #: Bind address of the observability server — loopback by default; the
+    #: endpoints are unauthenticated read-only JSON/text, so exposing them
+    #: beyond loopback is an explicit operator decision.
+    obs_host: str = "127.0.0.1"
+
+
+class CampaignProgress:
+    """Thread-safe live view of a running campaign, for ``/status``.
+
+    The campaign thread updates it at job boundaries and after every
+    generation (via the engine's ``on_batch`` hook); the observability
+    server's handler threads call :meth:`snapshot` concurrently.  Strictly
+    observe-only: nothing here feeds back into tuning, checkpoints or
+    fingerprints.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._lock = threading.Lock()
+        self.name = name
+        self._state: Dict[str, object] = {"name": name, "state": "idle"}
+
+    def begin(self, jobs_total: int, jobs_completed: int = 0) -> None:
+        with self._lock:
+            self._state = {
+                "name": self.name,
+                "state": "running",
+                "jobs_total": jobs_total,
+                "jobs_completed": jobs_completed,
+                "generations_total": 0,
+                "started_epoch": time.time(),
+            }
+
+    def job_started(self, job: "ProgramJob") -> None:
+        with self._lock:
+            self._state["current"] = {
+                "family": job.family,
+                "program": job.program,
+                "generation": 0,
+                "evaluated": 0,
+                "best_fitness": None,
+            }
+
+    def generation_finished(
+        self, generation: int, best_fitness: Optional[float], evaluated: int
+    ) -> None:
+        with self._lock:
+            current = self._state.get("current")
+            if isinstance(current, dict):
+                current["generation"] = generation
+                current["evaluated"] = evaluated
+                current["best_fitness"] = best_fitness
+            total = self._state.get("generations_total")
+            self._state["generations_total"] = (
+                total + 1 if isinstance(total, int) else 1
+            )
+
+    def job_finished(self, best_fitness: Optional[float] = None) -> None:
+        with self._lock:
+            completed = self._state.get("jobs_completed")
+            self._state["jobs_completed"] = (
+                completed + 1 if isinstance(completed, int) else 1
+            )
+            last = self._state.pop("current", None)
+            if isinstance(last, dict):
+                if best_fitness is not None:
+                    last["best_fitness"] = best_fitness
+                self._state["last_job"] = last
+
+    def finish(self, interrupted: bool = False) -> None:
+        with self._lock:
+            self._state["state"] = "interrupted" if interrupted else "finished"
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            snapshot = dict(self._state)
+            current = snapshot.get("current")
+            if isinstance(current, dict):
+                snapshot["current"] = dict(current)
+            last = snapshot.get("last_job")
+            if isinstance(last, dict):
+                snapshot["last_job"] = dict(last)
+            return snapshot
 
 
 @dataclass
@@ -268,6 +357,9 @@ class Campaign:
         self.database = database if database is not None else CampaignDatabase(
             name=self.config.name
         )
+        #: Live progress for the observability plane (``/status``): always
+        #: present, costs one lock hop per generation, feeds nothing back.
+        self.progress = CampaignProgress(self.config.name)
         # One content-addressed cache spans every job: a configuration that
         # warm starts (or simply recurs) in a later program of the same
         # family is a compile-stage hit, not a recompile.  Injectable so a
@@ -455,12 +547,23 @@ class Campaign:
             artifact_cache=self.artifact_cache,
         )
         database_dir = self._database_dir()
-        if database_dir is not None:
-            # Per-generation checkpoint: every batch that produced new records
-            # flushes this job's shard (plus the index) to disk.
-            tuner.evaluation_engine().on_batch = (
-                lambda _engine: self.database.save_shard(job.family, job.program, database_dir)
+        progress = self.progress
+        progress.job_started(job)
+
+        def on_batch(engine) -> None:
+            # Live progress first (observe-only, can never raise past the
+            # lock), then the per-generation checkpoint: every batch that
+            # produced new records flushes this job's shard (plus the
+            # index) to disk.
+            progress.generation_finished(
+                generation=engine.stats.batches,
+                best_fitness=engine.database.best_fitness(),
+                evaluated=engine.stats.evaluated,
             )
+            if database_dir is not None:
+                self.database.save_shard(job.family, job.program, database_dir)
+
+        tuner.evaluation_engine().on_batch = on_batch
         with telemetry.get_sink().span(
             "campaign.job", family=job.family, program=job.program
         ) as span:
@@ -494,6 +597,8 @@ class Campaign:
             # by the whole fleet.
             mesh_store=self.store_dir if self.config.mesh else None,
             mesh_budget_bytes=self.config.mesh_budget_bytes,
+            obs_port=self.config.obs_port,
+            obs_host=self.config.obs_host,
         )
         if pool.dispatch == "distributed" and self.config.min_workers > 0:
             try:
@@ -571,6 +676,10 @@ class Campaign:
         ran = 0
         interrupted = False
         own_pool = pool is None
+        self.progress.begin(
+            len(self.jobs),
+            jobs_completed=sum(1 for job in self.jobs if job.key() in completed),
+        )
         if own_pool:
             pool = self._build_pool()
         try:
@@ -582,13 +691,16 @@ class Campaign:
                 if limit is not None and ran >= limit:
                     interrupted = True
                     break
-                programs.append(self._run_job(job, pool, programs))
+                result = self._run_job(job, pool, programs)
+                programs.append(result)
+                self.progress.job_finished(best_fitness=result.best_fitness)
                 ran += 1
                 database_dir = self._database_dir()
                 if database_dir is not None:
                     self.database.save_shard(job.family, job.program, database_dir)
                     self._write_manifest(programs)
         finally:
+            self.progress.finish(interrupted)
             if own_pool:
                 pool.close()
         return CampaignResult(

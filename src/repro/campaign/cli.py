@@ -132,6 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "inspect with python -m repro.telemetry report. "
                              "Observe-only: results and fingerprints are "
                              "identical with or without it")
+    parser.add_argument("--obs-port", type=int, default=None, metavar="PORT",
+                        help="serve the live observability endpoints "
+                             "(/metrics in Prometheus text format, /status "
+                             "as JSON with campaign progress and per-worker "
+                             "health) on this port; 0 picks an ephemeral "
+                             "port.  Observe-only: results and fingerprints "
+                             "are identical with or without it")
+    parser.add_argument("--obs-host", default="127.0.0.1", metavar="HOST",
+                        help="bind address of the observability server "
+                             "(default: 127.0.0.1; exposing the read-only "
+                             "endpoints beyond loopback is an explicit "
+                             "operator decision)")
+    parser.add_argument("--live", action="store_true",
+                        help="render an in-place refreshing progress view "
+                             "(generations/sec, stage p95s, worker health) "
+                             "on stderr while the campaign runs; implies an "
+                             "ephemeral --obs-port when none is given")
     parser.add_argument("--verbose", action="store_true",
                         help="debug-level progress lines on stderr")
     parser.add_argument("--quiet", action="store_true",
@@ -166,6 +183,8 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
         warm_start=not args.no_warm_start,
         checkpoint_dir=args.checkpoint_dir,
         telemetry_dir=args.telemetry_dir,
+        obs_port=args.obs_port,
+        obs_host=args.obs_host,
         **pipeline_knobs,
     )
     families = [family for family in args.families.split(",") if family]
@@ -216,8 +235,27 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
         len(jobs), dispatch, args.workers, "s" if args.workers != 1 else "",
         "off" if args.no_warm_start else "on",
     )
+    # --live without an explicit port still needs a server to poll; an
+    # ephemeral loopback port costs nothing and keeps the flag one word.
+    obs_port = args.obs_port if args.obs_port is not None else (0 if args.live else None)
+    obs = None
+    own_obs = False  # CLI-owned server (local dispatch) vs coordinator-owned
+    previous_sink = None
+    sink_installed = False
+    live_stop = None
+    live_thread = None
     pool = None
     try:
+        if obs_port is not None and args.telemetry_dir is None:
+            # /metrics renders the telemetry registry; without a JSONL run
+            # directory install the registry-only in-memory sink so the
+            # instrumented seams still light up (nothing touches disk).
+            from repro import telemetry as telemetry_module
+            from repro.telemetry import MetricsSink
+
+            previous_sink = telemetry_module.get_sink()
+            telemetry_module.set_sink(MetricsSink())
+            sink_installed = True
         if dispatch == "distributed":
             # Build the pool up front so the coordinator address is printed
             # before the (possibly blocking) wait for workers.
@@ -227,7 +265,9 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
                                     dispatch="distributed", serve=args.serve,
                                     authkey=args.authkey,
                                     mesh_store=campaign.store_dir if args.mesh else None,
-                                    mesh_budget_bytes=args.mesh_budget_bytes)
+                                    mesh_budget_bytes=args.mesh_budget_bytes,
+                                    obs_port=obs_port, obs_host=args.obs_host)
+            obs = pool.obs_server
             bound = pool.address_string()
             host, _sep, port = bound.rpartition(":")
             if host in ("0.0.0.0", "::", ""):
@@ -251,15 +291,50 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
                 logger.info("waiting for %d worker(s)...", args.min_workers)
                 pool.wait_for_workers(args.min_workers,
                                       timeout=campaign.config.worker_wait_timeout)
+        elif obs_port is not None:
+            # Local dispatch has no coordinator to mount the server on; the
+            # CLI owns one directly (same endpoints, no fleet section).
+            from repro.distrib.obsserver import ObservabilityServer
+
+            obs = ObservabilityServer(host=args.obs_host, port=obs_port)
+            own_obs = True
+        if obs is not None:
+            obs.add_source("campaign", campaign.progress.snapshot)
+            logger.info("observability: GET %s/metrics (Prometheus) and "
+                        "%s/status (JSON)", obs.url(), obs.url())
+            if args.live:
+                import threading as threading_module
+
+                from repro.telemetry.live import tail
+
+                live_stop = threading_module.Event()
+                live_thread = threading_module.Thread(
+                    target=tail,
+                    args=(obs.url(),),
+                    kwargs={"interval": 1.0, "stop": live_stop},
+                    name="campaign-live-tail",
+                    daemon=True,
+                )
+                live_thread.start()
         result = campaign.run(limit=args.limit, resume=not args.fresh, pool=pool)
         # Snapshot before the finally below closes the pool (and with it the
         # coordinator that owns the artifact plane's counters and the fleet
         # telemetry registry).
         mesh_summary = pool.mesh_stats() if pool is not None else None
-        fleet = pool.fleet_telemetry() if pool is not None else None
+        fleet = pool.fleet_status() if pool is not None else None
     finally:
+        if live_stop is not None:
+            live_stop.set()
+        if live_thread is not None:
+            live_thread.join(timeout=3.0)
+        if own_obs and obs is not None:
+            obs.close()
         if pool is not None:
             pool.close()
+        if sink_installed:
+            from repro import telemetry as telemetry_module
+
+            telemetry_module.set_sink(previous_sink)
 
     programs = {program.job.key(): program for program in result.programs}
     for row in result.summary_rows():
@@ -331,12 +406,15 @@ def run_main(argv: Optional[Sequence[str]] = None) -> int:
             utilization = busy / uptime if uptime > 0 else 0.0
             mesh_bytes = (int(row.get("mesh_bytes_sent", 0) or 0)
                           + int(row.get("mesh_bytes_received", 0) or 0))
+            health = str(row.get("health", "healthy"))
+            straggler = " STRAGGLER" if row.get("straggler") else ""
             print(f"  worker {row.get('worker_id', '?'):>3} "
                   f"({row.get('peer', '?')}): "
                   f"{row.get('batches', 0)} batches / "
                   f"{row.get('candidates', 0)} candidates, "
                   f"busy {busy:.1f}s of {uptime:.1f}s "
-                  f"({utilization:.0%}), mesh {mesh_bytes}B")
+                  f"({utilization:.0%}), mesh {mesh_bytes}B, "
+                  f"{health}{straggler}")
     print(f"database fingerprint: {result.fingerprint()}")
     print(f"elapsed: {result.elapsed_seconds:.1f}s over {result.database.total_records()} records")
 

@@ -170,6 +170,8 @@ class SharedWorkerPool:
         authkey=None,
         mesh_store=None,
         mesh_budget_bytes: Optional[int] = None,
+        obs_port: Optional[int] = None,
+        obs_host: str = "127.0.0.1",
     ) -> None:
         mode = dispatch if dispatch is not None else executor
         if mode not in self.DISPATCH_MODES:
@@ -200,9 +202,12 @@ class SharedWorkerPool:
             # ``mesh_store`` (an ArtifactStore or a directory path) turns on
             # the coordinator's artifact plane: workers push fresh tier-2
             # entries here and fetch their misses from each other's work.
+            # ``obs_port`` mounts the live /metrics + /status server on the
+            # coordinator: its fleet-health view is pre-registered there.
             self._coordinator = Coordinator(
                 host=host, port=port, authkey=authkey,
                 artifact_store=mesh_store, mesh_budget_bytes=mesh_budget_bytes,
+                obs_port=obs_port, obs_host=obs_host,
             )
             self._own_coordinator = True
 
@@ -241,6 +246,21 @@ class SharedWorkerPool:
             return None
         fleet = getattr(self._coordinator, "fleet_telemetry", None)
         return fleet() if fleet is not None else None
+
+    def fleet_status(self) -> Optional[List[Dict[str, object]]]:
+        """Per-worker fleet rows with live health states, or ``None`` when
+        this pool has no coordinator.  Capture before :meth:`close`."""
+        if self._coordinator is None:
+            return None
+        status = getattr(self._coordinator, "fleet_status", None)
+        return status() if status is not None else None
+
+    @property
+    def obs_server(self):
+        """The coordinator's observability server (``None`` without one)."""
+        if self._coordinator is None:
+            return None
+        return getattr(self._coordinator, "obs_server", None)
 
     # -- mapper construction ----------------------------------------------------------
 

@@ -141,6 +141,7 @@ class CoordinatorArtifactPlane:
         sink = get_sink()
         sink.incr("mesh.fetches_served")
         sink.incr("mesh.bytes_out", len(payload))
+        sink.observe("mesh.transfer.bytes", float(len(payload)))
 
     def _absorb_push(self, handle, entries) -> None:
         for key, part_index, part_count, chunk in entries:
@@ -189,6 +190,7 @@ class CoordinatorArtifactPlane:
                 sink = get_sink()
                 sink.incr("mesh.pushes_accepted")
                 sink.incr("mesh.bytes_in", len(payload))
+                sink.observe("mesh.transfer.bytes", float(len(payload)))
             else:
                 with self._lock:
                     self.pushes_rejected += 1
@@ -351,7 +353,9 @@ class WorkerMeshClient:
             return None
         with self._state_lock:
             self.bytes_received += len(payload)
-        get_sink().incr("mesh.bytes_received", len(payload))
+        sink = get_sink()
+        sink.incr("mesh.bytes_received", len(payload))
+        sink.observe("mesh.transfer.bytes", float(len(payload)))
         value, ok = ArtifactStore.decode_entry(payload, key)
         if not ok:
             # Corruption or tampering in flight: a verified miss, by
@@ -466,6 +470,7 @@ class WorkerMeshClient:
                     sink = get_sink()
                     sink.incr("mesh.pushes_sent")
                     sink.incr("mesh.bytes_sent", len(payload))
+                    sink.observe("mesh.transfer.bytes", float(len(payload)))
                     self._known_remote.add(repr(key))
                 if quads:
                     self._sender.send(ArtifactPush(tuple(quads)))

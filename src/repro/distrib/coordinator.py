@@ -20,7 +20,9 @@ import functools
 import itertools
 import logging
 import socket
+import statistics
 import threading
+import time
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.distrib.artifacts import CoordinatorArtifactPlane, handle_artifact_message
@@ -59,6 +61,33 @@ logger = logging.getLogger("repro.distrib.coordinator")
 #: partition — and no real machine runs a thousand evaluation threads.
 MAX_WORKER_SLOTS = 1024
 
+#: Worker health states, derived from the last-seen monotonic timestamp
+#: (updated on *every* frame read from a worker, heartbeats included) and
+#: the staleness windows below.  ``lost`` is sticky once a worker is
+#: discarded.
+HEALTHY, STALE, LOST = "healthy", "stale", "lost"
+
+#: Fallback staleness windows for a worker that advertised no heartbeat
+#: cadence (``Hello.heartbeat_interval == 0`` or an old worker build):
+#: silent for longer than ``stale`` is suspect, longer than ``lost`` is
+#: gone.  When a cadence *is* advertised the windows derive from it —
+#: a few missed beats, not a wall-clock guess.
+DEFAULT_STALE_AFTER = 30.0
+DEFAULT_LOST_AFTER = 120.0
+
+#: Missed-beat multiples for advertised heartbeat cadences: stale after
+#: ~2.5 missed beats, lost after ~8 (bounded below so scheduler jitter on
+#: a loaded machine never flaps a healthy worker).
+STALE_BEATS = 2.5
+LOST_BEATS = 8.0
+MIN_STALE_AFTER = 5.0
+
+#: Straggler detection: a worker whose per-task EWMA exceeds this multiple
+#: of the fleet median (with at least two workers reporting) is flagged.
+STRAGGLER_FACTOR = 2.0
+#: EWMA smoothing for per-task batch durations (higher = more reactive).
+EWMA_ALPHA = 0.3
+
 
 def _is_loopback(host: str) -> bool:
     return host == "localhost" or host.startswith("127.") or host == "::1"
@@ -88,6 +117,16 @@ class WorkerHandle:
         #: Latest :class:`~repro.distrib.protocol.TelemetrySummary` payload
         #: this worker forwarded (observe-only; empty until the first one).
         self.telemetry: Dict[str, object] = {}
+        #: Health tracking: monotonic timestamp of the last frame read from
+        #: this worker (any frame — heartbeats, telemetry, artifact traffic,
+        #: batch replies), the advertised heartbeat cadence, whether an RPC
+        #: conversation is in flight, and the per-task batch-duration EWMA
+        #: the straggler detector compares against the fleet median.
+        self.last_seen = time.monotonic()
+        self.heartbeat_interval = 0.0
+        self.busy = False
+        self.ewma_task_seconds: Optional[float] = None
+        self.discarded = False
 
     def __repr__(self) -> str:
         return (f"WorkerHandle(id={self.worker_id}, peer={self.peer!r}, "
@@ -113,6 +152,10 @@ class Coordinator:
         authkey: Union[str, bytes, None] = None,
         artifact_store=None,
         mesh_budget_bytes: Optional[int] = None,
+        stale_after: Optional[float] = None,
+        lost_after: Optional[float] = None,
+        obs_port: Optional[int] = None,
+        obs_host: str = "127.0.0.1",
     ) -> None:
         #: Per-*task* reply budget: a batch of N tasks may take N times this
         #: before its worker is declared lost (a fixed per-batch timeout
@@ -161,6 +204,27 @@ class Coordinator:
         self._joined = threading.Condition(self._registry_lock)
         self._worker_ids = itertools.count(1)
         self._closed = False
+        #: Explicit staleness-window overrides; ``None`` derives them per
+        #: worker from the heartbeat cadence it advertised in ``Hello``.
+        self.stale_after = stale_after
+        self.lost_after = lost_after
+        #: The live observability plane: ``obs_port`` (0 = ephemeral) binds
+        #: the ``/metrics`` + ``/status`` HTTP server on ``obs_host``
+        #: (loopback unless told otherwise) with the fleet health view and
+        #: fleet-merged metrics pre-registered.  Observe-only: the server
+        #: reads coordinator state through the same locks as everything
+        #: else and can never fail a batch.
+        self.obs_server = None
+        if obs_port is not None:
+            from repro.distrib.obsserver import ObservabilityServer
+
+            try:
+                self.obs_server = ObservabilityServer(host=obs_host, port=obs_port)
+            except OSError:
+                self._listener.close()
+                raise
+            self.obs_server.add_source("fleet", self.fleet_status)
+            self.obs_server.add_metrics_source(self.fleet_metrics)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"coordinator-accept:{self.port}", daemon=True
         )
@@ -200,13 +264,33 @@ class Coordinator:
             return len(self._workers)
 
     def discard(self, handle: WorkerHandle) -> None:
-        """Drop a dead worker: close its socket, remove it from the registry."""
+        """Drop a dead worker: close its socket, remove it from the registry.
+
+        The worker's fleet row flips to ``lost`` — stickily: a discarded
+        worker stays visible (and lost) in ``/status`` and the end-of-run
+        fleet summary, because the fleet view describes the campaign, not
+        just the current registry.
+        """
+        handle.discarded = True
         with self._registry_lock:
             dropped = self._workers.pop(handle.worker_id, None)
         if dropped is not None:
             logger.warning(
                 "worker %d (%s) discarded after %d completed batch(es)",
                 handle.worker_id, handle.peer, handle.batches_completed,
+            )
+        with self._fleet_lock:
+            row = self._fleet.setdefault(
+                handle.worker_id,
+                {"worker_id": handle.worker_id, "peer": handle.peer,
+                 "slots": handle.slots},
+            )
+            row["health"] = LOST
+            row["batches"] = handle.batches_completed
+        if dropped is not None:
+            get_sink().event(
+                "fleet.worker", worker_id=handle.worker_id, peer=handle.peer,
+                health=LOST, batches=handle.batches_completed,
             )
         try:
             handle.sock.close()
@@ -260,6 +344,13 @@ class Coordinator:
                 sock.close()
                 continue
             handle = WorkerHandle(worker_id, sock, hello.slots, format_address(*peer[:2]))
+            # The advertised heartbeat cadence sizes this worker's staleness
+            # windows; garbage (negative, non-numeric, absurd) degrades to 0,
+            # i.e. the wall-clock default windows.
+            cadence = getattr(hello, "heartbeat_interval", 0.0)
+            if isinstance(cadence, (int, float)) and not isinstance(cadence, bool):
+                handle.heartbeat_interval = min(max(float(cadence), 0.0), 3600.0)
+            handle.last_seen = time.monotonic()
             with self._joined:
                 if self._closed:
                     sock.close()
@@ -288,9 +379,11 @@ class Coordinator:
         """
         tasks = tuple(tasks)
         expected = {index for index, _key in tasks}
+        rpc_started = time.monotonic()
         with get_sink().span(
             "coordinator.rpc", worker=handle.worker_id, tasks=len(tasks)
         ), handle.lock:
+            handle.busy = True
             try:
                 handle.sock.settimeout(
                     self.handshake_timeout + self.task_timeout * max(1, len(tasks))
@@ -302,6 +395,9 @@ class Coordinator:
                 )
                 while True:
                     reply = recv_message(handle.sock)
+                    # Any frame is proof of life; heartbeats exist for
+                    # exactly this timestamp.
+                    handle.last_seen = time.monotonic()
                     if isinstance(reply, Heartbeat):
                         # The worker is mid-evaluation and provably alive;
                         # each frame restarts the socket's silence budget, so
@@ -338,6 +434,8 @@ class Coordinator:
                     worker_id=handle.worker_id,
                     pending=len(tasks),
                 ) from exc
+            finally:
+                handle.busy = False
         if isinstance(reply, BatchFailure):
             if reply.exception is not None:
                 raise reply.exception
@@ -354,6 +452,16 @@ class Coordinator:
             )
         handle.known_evaluators.add(evaluator_id)
         handle.batches_completed += 1
+        # Per-task EWMA feeds the straggler detector: batch wall clock
+        # normalized by task count, smoothed so one slow candidate does not
+        # brand a machine.
+        per_task = (time.monotonic() - rpc_started) / max(1, len(tasks))
+        if handle.ewma_task_seconds is None:
+            handle.ewma_task_seconds = per_task
+        else:
+            handle.ewma_task_seconds = (
+                EWMA_ALPHA * per_task + (1.0 - EWMA_ALPHA) * handle.ewma_task_seconds
+            )
         return list(reply.results)
 
     # -- the artifact plane -----------------------------------------------------------
@@ -370,9 +478,16 @@ class Coordinator:
         payload = summary.payload if isinstance(summary.payload, dict) else {}
         row: Dict[str, object] = {"worker_id": handle.worker_id, "peer": handle.peer}
         row.update(payload)
+        # The frame just arrived, so the worker is healthy by construction;
+        # the histogram snapshot is fleet-metrics input, too bulky for the
+        # event stream.
+        row["health"] = HEALTHY
+        event_row = {
+            key: value for key, value in row.items() if key != "batch_seconds_hist"
+        }
         with self._fleet_lock:
             self._fleet[handle.worker_id] = row
-        get_sink().event("fleet.worker", **row)
+        get_sink().event("fleet.worker", **event_row)
 
     def fleet_telemetry(self) -> List[Dict[str, object]]:
         """Latest per-worker summary rows, ordered by worker id.
@@ -382,6 +497,167 @@ class Coordinator:
         """
         with self._fleet_lock:
             return [dict(self._fleet[key]) for key in sorted(self._fleet)]
+
+    # -- worker health ----------------------------------------------------------------
+
+    def _windows(self, handle: WorkerHandle) -> Tuple[float, float]:
+        """Effective ``(stale_after, lost_after)`` for one worker: explicit
+        constructor overrides win, otherwise derived from the heartbeat
+        cadence the worker advertised (wall-clock defaults without one)."""
+        cadence = handle.heartbeat_interval
+        if cadence > 0:
+            stale = max(STALE_BEATS * cadence, MIN_STALE_AFTER)
+            lost = max(LOST_BEATS * cadence, stale + MIN_STALE_AFTER)
+        else:
+            stale, lost = DEFAULT_STALE_AFTER, DEFAULT_LOST_AFTER
+        if self.stale_after is not None:
+            stale = self.stale_after
+        if self.lost_after is not None:
+            lost = self.lost_after
+        return stale, max(lost, stale)
+
+    def _probe_idle(self, handle: WorkerHandle) -> None:
+        """Refresh an *idle* worker's liveness without consuming frames.
+
+        Between batches nothing reads the socket, so buffered heartbeats
+        do not advance ``last_seen`` and a dead peer's EOF goes unseen.  A
+        non-blocking ``MSG_PEEK`` under the handle lock settles both: data
+        waiting means the worker spoke since the last batch, EOF or a
+        reset means it is gone.  Skipped entirely when an RPC holds the
+        lock — the recv loop is already tracking liveness there.
+        """
+        if not handle.lock.acquire(blocking=False):
+            return
+        try:
+            if handle.discarded:
+                return
+            sock = handle.sock
+            previous_timeout = sock.gettimeout()
+            try:
+                sock.setblocking(False)
+                try:
+                    data = sock.recv(1, socket.MSG_PEEK)
+                except (BlockingIOError, InterruptedError):
+                    return  # no frames waiting: silence, judged by the windows
+                except OSError:
+                    data = b""
+            finally:
+                try:
+                    sock.settimeout(previous_timeout)
+                except OSError:
+                    pass
+            if data:
+                handle.last_seen = time.monotonic()
+        finally:
+            handle.lock.release()
+        if not data:
+            # EOF / reset: the peer is gone; make the loss official so the
+            # mapper never dispatches to a socket known to be dead.
+            self.discard(handle)
+
+    def _health_state(self, handle: WorkerHandle, now: float) -> str:
+        if handle.discarded:
+            return LOST
+        stale_after, lost_after = self._windows(handle)
+        age = now - handle.last_seen
+        if age > lost_after:
+            return LOST
+        if age > stale_after:
+            return STALE
+        return HEALTHY
+
+    def _stragglers(self, handles: List[WorkerHandle]) -> Set[int]:
+        ewmas = {
+            handle.worker_id: handle.ewma_task_seconds
+            for handle in handles
+            if handle.ewma_task_seconds is not None
+        }
+        if len(ewmas) < 2:
+            return set()  # a fleet of one has no median to lag behind
+        median = statistics.median(ewmas.values())
+        if median <= 0:
+            return set()
+        return {
+            worker_id for worker_id, ewma in ewmas.items()
+            if ewma > STRAGGLER_FACTOR * median
+        }
+
+    def fleet_status(self) -> List[Dict[str, object]]:
+        """Per-worker fleet rows with live health, for ``/status``.
+
+        Merges the latest telemetry payloads (slots, batches, busy ratio,
+        tier hits, mesh bytes) with the derived health state, last-seen
+        age, per-task EWMA and the straggler flag.  Discarded workers stay
+        in the list as ``lost``.
+        """
+        now = time.monotonic()
+        with self._registry_lock:
+            handles = list(self._workers.values())
+        for handle in handles:
+            if not handle.busy:
+                self._probe_idle(handle)
+        stragglers = self._stragglers(handles)
+        with self._fleet_lock:
+            rows = {worker_id: dict(row) for worker_id, row in self._fleet.items()}
+        for handle in handles:
+            row = rows.setdefault(
+                handle.worker_id,
+                {"worker_id": handle.worker_id, "peer": handle.peer},
+            )
+            row.pop("batch_seconds_hist", None)
+            uptime = row.get("uptime_seconds")
+            busy = row.get("busy_seconds")
+            if isinstance(uptime, (int, float)) and isinstance(busy, (int, float)) and uptime > 0:
+                row["busy_ratio"] = round(float(busy) / float(uptime), 4)
+            row.update(
+                slots=handle.slots,
+                batches=handle.batches_completed,
+                health=self._health_state(handle, now),
+                last_seen_age_seconds=round(max(0.0, now - handle.last_seen), 3),
+                straggler=handle.worker_id in stragglers,
+            )
+            if handle.ewma_task_seconds is not None:
+                row["ewma_task_seconds"] = round(handle.ewma_task_seconds, 6)
+        for row in rows.values():
+            row.pop("batch_seconds_hist", None)
+            row.setdefault("health", LOST)
+            row.setdefault("straggler", False)
+        return [rows[key] for key in sorted(rows)]
+
+    def worker_health(self) -> Dict[int, str]:
+        """``worker_id -> healthy/stale/lost`` over every known worker."""
+        return {
+            int(row["worker_id"]): str(row["health"]) for row in self.fleet_status()
+        }
+
+    def fleet_metrics(self) -> Dict[str, object]:
+        """A registry snapshot of fleet-level gauges and the fleet-merged
+        worker batch-duration histogram, merged into ``/metrics``."""
+        from repro.telemetry.live import Histogram
+
+        states = {HEALTHY: 0, STALE: 0, LOST: 0}
+        stragglers = 0
+        for row in self.fleet_status():
+            states[str(row.get("health"))] = states.get(str(row.get("health")), 0) + 1
+            if row.get("straggler"):
+                stragglers += 1
+        merged = Histogram()
+        with self._fleet_lock:
+            snapshots = [
+                row.get("batch_seconds_hist")
+                for row in self._fleet.values()
+                if isinstance(row.get("batch_seconds_hist"), dict)
+            ]
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        gauges = {
+            f"fleet.workers.{state}": float(count) for state, count in states.items()
+        }
+        gauges["fleet.workers.straggling"] = float(stragglers)
+        histograms = {}
+        if merged.count:
+            histograms["worker.batch.seconds"] = merged.snapshot()
+        return {"counters": {}, "gauges": gauges, "histograms": histograms}
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -393,6 +669,11 @@ class Coordinator:
             self._closed = True
             workers = list(self._workers.values())
             self._workers.clear()
+        if self.obs_server is not None:
+            # Drain first: a scrape racing this teardown gets a clean 503,
+            # and the server thread is joined with a bounded timeout so a
+            # wedged scraper cannot hang campaign shutdown.
+            self.obs_server.close(timeout=2.0)
         for handle in workers:
             with handle.lock:
                 try:

@@ -70,9 +70,17 @@ _HEADER = struct.Struct(">I")
 
 @dataclass(frozen=True)
 class Hello:
-    """Worker registration: how many evaluation slots it advertises."""
+    """Worker registration: how many evaluation slots it advertises.
+
+    ``heartbeat_interval`` is the cadence (seconds) this worker promises
+    :class:`Heartbeat` frames at, so the coordinator can derive its
+    staleness windows per worker instead of guessing; ``0`` means the
+    worker sends no heartbeats.  Defaulted for version skew: an older
+    worker's Hello reads as the stock 15s cadence.
+    """
 
     slots: int = 1
+    heartbeat_interval: float = 15.0
 
 
 @dataclass(frozen=True)

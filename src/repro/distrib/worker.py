@@ -18,10 +18,13 @@ Batches are evaluated pipeline-aware: a staged evaluator
 (:class:`~repro.tuner.pipeline.StagedCandidateEvaluator`) receives its
 tasks as contiguous per-slot chunks and overlaps each chunk's compiles with
 its emulation/scoring on a second lane; a monolithic evaluator is mapped
-task by task, exactly as before.  While a batch is evaluating, the worker
-sends :class:`~repro.distrib.protocol.Heartbeat` frames so a long batch is
-distinguishable from a dead machine (historically a busy worker could only
-fail at batch boundaries or the coordinator's timeout).
+task by task, exactly as before.  From registration to shutdown the worker
+sends :class:`~repro.distrib.protocol.Heartbeat` frames so a long batch —
+or an idle wait between batches — is distinguishable from a dead machine
+(historically a busy worker could only fail at batch boundaries or the
+coordinator's timeout, and an idle one aged silently); the advertised
+cadence rides in :class:`~repro.distrib.protocol.Hello` so the coordinator
+sizes its staleness windows to it.
 
 ``--reconnect`` keeps the worker alive across coordinator outages and its
 own restarts: a refused connection or a dropped coordinator triggers an
@@ -78,6 +81,7 @@ from repro.distrib.protocol import (
 )
 from repro import telemetry
 from repro.telemetry import get_sink
+from repro.telemetry.live import Histogram
 from repro.tuner.evaluation import EVALUATOR_CACHE_LIMIT, evaluate_keys, map_pipelined
 
 logger = logging.getLogger("repro.distrib.worker")
@@ -162,11 +166,16 @@ class _SessionTelemetry:
         self.artifact_store_hits = 0
         self.artifact_mesh_hits = 0
         self.artifact_misses = 0
+        #: Batch wall-clock distribution, shipped as a mergeable snapshot so
+        #: the coordinator can fold every worker's into one fleet-wide
+        #: ``worker.batch.seconds`` histogram for ``/metrics``.
+        self.batch_seconds = Histogram()
 
     def absorb(self, results, busy_seconds: float) -> None:
         self.batches += 1
         self.candidates += len(results)
         self.busy_seconds += busy_seconds
+        self.batch_seconds.observe(busy_seconds)
         for _index, value in results:
             self.compile_seconds += getattr(value, "compile_seconds", 0.0)
             self.measure_seconds += getattr(value, "measure_seconds", 0.0)
@@ -190,6 +199,7 @@ class _SessionTelemetry:
             "artifact_store_hits": self.artifact_store_hits,
             "artifact_mesh_hits": self.artifact_mesh_hits,
             "artifact_misses": self.artifact_misses,
+            "batch_seconds_hist": self.batch_seconds.snapshot(),
         }
         if mesh_client is not None:
             stats = mesh_client.stats()
@@ -199,12 +209,16 @@ class _SessionTelemetry:
 
 
 class _HeartbeatSender:
-    """Sends :class:`Heartbeat` frames while a batch evaluates.
+    """Sends :class:`Heartbeat` frames for the lifetime of a session.
 
-    Socket writes are serialized with the main loop's replies through
-    ``send`` (two threads interleaving ``sendall`` would corrupt framing);
-    send failures just stop the beat — the main loop will observe the dead
-    socket itself on its next reply.
+    Historically the beat ran only while a batch evaluated, so an *idle*
+    worker was indistinguishable from a dead one until its next dispatch;
+    now the thread spans the whole session (started right after
+    registration) and the coordinator's health tracking reads the idle
+    frames off the buffered stream.  Socket writes are serialized with the
+    main loop's replies through ``send`` (two threads interleaving
+    ``sendall`` would corrupt framing); send failures just stop the beat —
+    the main loop will observe the dead socket itself on its next reply.
     """
 
     def __init__(self, sock: socket.socket, worker_id: int, interval: float) -> None:
@@ -219,21 +233,27 @@ class _HeartbeatSender:
         with self._lock:
             send_message(self._sock, message)
 
-    def __enter__(self) -> "_HeartbeatSender":
-        if self.interval > 0:
+    def start(self) -> None:
+        if self.interval > 0 and self._thread is None:
             self._stop = threading.Event()
             self._thread = threading.Thread(
                 target=self._beat, name="worker-heartbeat", daemon=True
             )
             self._thread.start()
-        return self
 
-    def __exit__(self, *exc_info) -> None:
+    def stop(self) -> None:
         if self._stop is not None:
             self._stop.set()
             self._thread.join(timeout=1.0)
             self._stop = None
             self._thread = None
+
+    def __enter__(self) -> "_HeartbeatSender":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
 
     def _beat(self) -> None:
         stop = self._stop
@@ -318,11 +338,15 @@ def serve(
     sock = socket.create_connection((host, port), timeout=connect_timeout)
     executor = None
     mesh_client: Optional[WorkerMeshClient] = None
+    sender: Optional[_HeartbeatSender] = None
     try:
         try:
             if authkey is not None:
                 authenticate(sock, authkey, server=False)
-            send_message(sock, Hello(slots=slots))
+            send_message(
+                sock,
+                Hello(slots=slots, heartbeat_interval=max(0.0, heartbeat_interval)),
+            )
             welcome = recv_message(sock)
             if not isinstance(welcome, Welcome):
                 raise ProtocolError(f"expected Welcome, got {type(welcome).__name__}")
@@ -355,6 +379,11 @@ def serve(
         if on_registered is not None:
             on_registered(welcome.worker_id)
         sender = _HeartbeatSender(sock, welcome.worker_id, heartbeat_interval)
+        # Session-long liveness: beats flow from registration onward, so an
+        # idle worker (between batches, or never dispatched to) stays
+        # `healthy` in the coordinator's fleet view instead of aging into
+        # `stale` the moment the campaign pauses.
+        sender.start()
         if mesh and getattr(welcome, "mesh", False):
             budget = mesh_budget_bytes
             if budget is None:
@@ -425,17 +454,16 @@ def serve(
                     # mid-batch, so fetch replies are unambiguous).
                     mesh_client.begin_batch()
                 try:
-                    with sender:  # heartbeats flow for the duration of the batch
-                        busy_started = time.perf_counter()
-                        with get_sink().span(
-                            "worker.batch",
-                            worker=welcome.worker_id,
-                            tasks=len(message.tasks),
-                        ):
-                            results = _evaluate_tasks(
-                                evaluator, message.tasks, slots, executor
-                            )
-                        busy_seconds = time.perf_counter() - busy_started
+                    busy_started = time.perf_counter()
+                    with get_sink().span(
+                        "worker.batch",
+                        worker=welcome.worker_id,
+                        tasks=len(message.tasks),
+                    ):
+                        results = _evaluate_tasks(
+                            evaluator, message.tasks, slots, executor
+                        )
+                    busy_seconds = time.perf_counter() - busy_started
                     if mesh_client is not None:
                         # Fresh artifacts travel *before* the batch reply:
                         # the ordered stream guarantees the coordinator has
@@ -484,6 +512,8 @@ def serve(
                 return CONNECTION_LOST_STATUS
             batches_done += 1
     finally:
+        if sender is not None:
+            sender.stop()
         if mesh_client is not None:
             # The caches are process-global and outlive this session; a
             # dead session's client must not serve later lookups.

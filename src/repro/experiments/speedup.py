@@ -262,6 +262,47 @@ def run_pipeline_comparison(
                 plain.fingerprint() == observed.fingerprint() == cold.fingerprint()
             ),
         }
+        # Live-observability overhead: the same warm rerun once more with
+        # the registry-only sink (span-duration histograms, no disk) and a
+        # loopback /metrics + /status server up, scraped once mid-flight.
+        # The read-only contract makes this a pure tax measurement: the
+        # fingerprint must not move.
+        from repro import telemetry as telemetry_module
+        from repro.telemetry.live import MetricsSink
+
+        previous_sink = telemetry_module.get_sink()
+        obs_server = None
+        scrape_ok: Optional[bool] = None
+        try:
+            telemetry_module.set_sink(MetricsSink())
+            try:
+                from repro.distrib.obsserver import ObservabilityServer
+
+                obs_server = ObservabilityServer()
+            except OSError:
+                obs_server = None  # no loopback in this sandbox
+            live, live_seconds = run("staged", cache, store_dir)
+            if obs_server is not None:
+                import urllib.request
+
+                with urllib.request.urlopen(
+                    obs_server.url() + "/metrics", timeout=5.0
+                ) as response:
+                    body = response.read().decode("utf-8", "replace")
+                scrape_ok = "engine_generation_seconds_count" in body
+        finally:
+            if obs_server is not None:
+                obs_server.close()
+            telemetry_module.set_sink(previous_sink)
+        observability_report = {
+            "disabled_seconds": plain_seconds,
+            "enabled_seconds": live_seconds,
+            "overhead_ratio": (
+                live_seconds / plain_seconds if plain_seconds else 0.0
+            ),
+            "scrape_ok": scrape_ok,
+            "identical_fingerprints": live.fingerprint() == cold.fingerprint(),
+        }
         # The cross-machine variant of the restart, over the same populated
         # store (skipped where loopback is unavailable).
         mesh_join = _run_mesh_join_comparison(jobs, base, store_dir)
@@ -308,5 +349,6 @@ def run_pipeline_comparison(
         "artifact_cache": cache_stats,
         "artifact_store": store_stats,
         "telemetry": telemetry_report,
+        "observability": observability_report,
         "mesh_join": mesh_join,
     }

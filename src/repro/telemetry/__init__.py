@@ -41,6 +41,13 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.telemetry.live import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+)
+
 SCHEMA_VERSION = 1
 
 #: Default cap on records written per sink (meta and the final metrics
@@ -88,8 +95,14 @@ class NullSink:
     def gauge(self, name: str, value: float) -> None:
         pass
 
+    def observe(self, name: str, value: float) -> None:
+        pass
+
     def counters(self) -> Dict[str, float]:
         return {}
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def flush(self) -> None:
         pass
@@ -173,8 +186,10 @@ class JsonlSink:
         self._written = 0
         self._buffer: list = []
         self._lock = threading.Lock()
-        self._counters: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
+        #: Counters, gauges and histograms live in the shared registry (its
+        #: own lock), so the live observability server can snapshot metrics
+        #: without contending on the append buffer.
+        self._registry = MetricsRegistry()
         self._span_ids = itertools.count(1)
         self._locals = threading.local()
         self._closed = False
@@ -219,6 +234,11 @@ class JsonlSink:
             record["parent"] = span.parent_id
         if span.attrs:
             record["attrs"] = span.attrs
+        # Span durations are the latency seams worth percentiles
+        # (stage.compile, coordinator.rpc, worker.batch, ...): every span
+        # feeds a `{name}.seconds` histogram, so /metrics serves live
+        # quantiles without a second timer at each call site.
+        self._registry.observe(f"{span.name}.seconds", duration)
         self._append(record)
 
     def event(self, name: str, **attrs) -> None:
@@ -234,16 +254,21 @@ class JsonlSink:
 
     def incr(self, name: str, value: int = 1) -> None:
         """Registry-only counter bump: cheap enough for per-lookup seams."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + value
+        self._registry.incr(name, value)
 
     def gauge(self, name: str, value: float) -> None:
-        with self._lock:
-            self._gauges[name] = value
+        self._registry.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the named log-bucketed histogram."""
+        self._registry.observe(name, value)
 
     def counters(self) -> Dict[str, float]:
-        with self._lock:
-            return dict(self._counters)
+        return self._registry.counters()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Counters, gauges and histogram snapshots for ``/metrics``."""
+        return self._registry.snapshot()
 
     # -- the bounded buffer -----------------------------------------------------------
 
@@ -293,11 +318,13 @@ class JsonlSink:
             if self._closed:
                 return
             self._flush_locked()
+            registry = self._registry.snapshot()
             snapshot = {
                 "type": "metrics",
                 "ts": round(self._now(), 6),
-                "counters": dict(self._counters),
-                "gauges": dict(self._gauges),
+                "counters": registry["counters"],
+                "gauges": registry["gauges"],
+                "histograms": registry["histograms"],
                 "events": self._written,
                 "dropped": self.dropped,
             }
@@ -342,8 +369,12 @@ def set_sink(sink) -> object:
 
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "DEFAULT_MAX_EVENTS",
+    "Histogram",
     "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSink",
     "NULL_SINK",
     "NullSink",
     "SCHEMA_VERSION",

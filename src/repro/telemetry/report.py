@@ -46,7 +46,13 @@ def load_events(run_dir) -> Tuple[List[Dict[str, object]], int]:
     for path in sorted(run_dir.glob("*.jsonl")):
         pid = None
         wall_epoch = 0.0
-        for line in path.read_text().splitlines():
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            print(f"warning: cannot read {path}: {exc}", file=sys.stderr)
+            skipped += 1
+            continue
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -62,7 +68,10 @@ def load_events(run_dir) -> Tuple[List[Dict[str, object]], int]:
                 # A file appended to by several sessions restarts its
                 # monotonic clock at each meta line; track the latest.
                 pid = record.get("pid")
-                wall_epoch = float(record.get("wall_epoch", 0.0))
+                try:
+                    wall_epoch = float(record.get("wall_epoch", 0.0))
+                except (TypeError, ValueError):
+                    wall_epoch = 0.0
             record.setdefault("pid", pid if pid is not None else 0)
             ts = record.get("ts")
             if isinstance(ts, (int, float)):
@@ -70,6 +79,20 @@ def load_events(run_dir) -> Tuple[List[Dict[str, object]], int]:
             events.append(record)
     events.sort(key=lambda record: record.get("wall_ts", 0.0))
     return events, skipped
+
+
+def _as_int(value, default: int = 0) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_float(value, default: float = 0.0) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
 
 
 def spans(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
@@ -83,7 +106,7 @@ def span_breakdown(events: Sequence[Dict[str, object]]) -> List[Dict[str, object
         name = str(record.get("name"))
         entry = totals.setdefault(name, {"count": 0, "seconds": 0.0})
         entry["count"] += 1
-        entry["seconds"] += float(record.get("dur", 0.0))
+        entry["seconds"] += _as_float(record.get("dur", 0.0))
     rows = [
         {
             "name": name,
@@ -132,7 +155,7 @@ def tier_ratio_rows(
         width = size + (1 if index < extra else 0)
         window = generations[start:start + width]
         start += width
-        sums = {field: sum(int(attrs.get(field, 0)) for attrs in window)
+        sums = {field: sum(_as_int(attrs.get(field, 0)) for attrs in window)
                 for field in _TIER_FIELDS}
         lookups = sum(sums.values())
         rows.append({
@@ -155,23 +178,27 @@ def worker_rows(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
         attrs = record.get("attrs")
         if not isinstance(attrs, dict) or "worker_id" not in attrs:
             continue
-        latest[int(attrs["worker_id"])] = attrs
+        try:
+            worker_id = int(attrs["worker_id"])
+        except (TypeError, ValueError):
+            continue
+        latest[worker_id] = attrs
     rows = []
     for worker_id in sorted(latest):
         attrs = latest[worker_id]
-        uptime = float(attrs.get("uptime_seconds", 0.0))
-        busy = float(attrs.get("busy_seconds", 0.0))
+        uptime = _as_float(attrs.get("uptime_seconds", 0.0))
+        busy = _as_float(attrs.get("busy_seconds", 0.0))
         rows.append({
             "worker_id": worker_id,
             "peer": attrs.get("peer", "?"),
-            "slots": int(attrs.get("slots", 1)),
-            "batches": int(attrs.get("batches", 0)),
-            "candidates": int(attrs.get("candidates", 0)),
+            "slots": _as_int(attrs.get("slots", 1), 1),
+            "batches": _as_int(attrs.get("batches", 0)),
+            "candidates": _as_int(attrs.get("candidates", 0)),
             "busy_seconds": busy,
             "uptime_seconds": uptime,
             "utilization": busy / uptime if uptime else 0.0,
-            "mesh_bytes": int(attrs.get("mesh_bytes_sent", 0))
-            + int(attrs.get("mesh_bytes_received", 0)),
+            "mesh_bytes": _as_int(attrs.get("mesh_bytes_sent", 0))
+            + _as_int(attrs.get("mesh_bytes_received", 0)),
         })
     return rows
 
@@ -189,6 +216,38 @@ def merged_counters(events: Sequence[Dict[str, object]]) -> Dict[str, float]:
             if isinstance(value, (int, float)):
                 totals[name] = totals.get(name, 0) + value
     return totals
+
+
+def latency_rows(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Span-duration percentiles from the ``metrics`` snapshots' histograms.
+
+    Histograms from different processes share the fixed bucket bounds
+    (:data:`~repro.telemetry.live.BUCKET_BOUNDS`), so the per-process
+    snapshots merge bucket-for-bucket into fleet-wide distributions.
+    """
+    from repro.telemetry.live import Histogram
+
+    merged: Dict[str, Histogram] = {}
+    for record in events:
+        if record.get("type") != "metrics":
+            continue
+        histograms = record.get("histograms")
+        if not isinstance(histograms, dict):
+            continue
+        for name, snapshot in histograms.items():
+            histogram = merged.get(name)
+            if histogram is None:
+                histogram = merged[name] = Histogram()
+            histogram.merge(snapshot)
+    rows = []
+    for name in sorted(merged):
+        histogram = merged[name]
+        if not histogram.count:
+            continue
+        row = {"name": name, "count": histogram.count}
+        row.update(histogram.percentiles())
+        rows.append(row)
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -214,10 +273,10 @@ def chrome_trace(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
             "name": record.get("name", "?"),
             "cat": "repro",
             "ph": "X",
-            "ts": round(1e6 * (float(record.get("wall_ts", 0.0)) - origin), 3),
-            "dur": round(1e6 * float(record.get("dur", 0.0)), 3),
-            "pid": int(record.get("pid", 0)),
-            "tid": int(record.get("tid", 0)),
+            "ts": round(1e6 * (_as_float(record.get("wall_ts", 0.0)) - origin), 3),
+            "dur": round(1e6 * _as_float(record.get("dur", 0.0)), 3),
+            "pid": _as_int(record.get("pid", 0)),
+            "tid": _as_int(record.get("tid", 0)),
         }
         attrs = record.get("attrs")
         if isinstance(attrs, dict) and attrs:
@@ -250,16 +309,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "ui.perfetto.dev)")
     report.add_argument("--json", type=Path, default=None, dest="json_out",
                         help="write the report tables to this JSON file")
+    tail = sub.add_parser(
+        "tail", help="live in-place progress view of a running campaign's "
+                     "/status endpoint"
+    )
+    tail.add_argument("address", metavar="HOST:PORT",
+                      help="the --obs-port endpoint of a running campaign "
+                           "(HOST:PORT or a full http:// URL)")
+    tail.add_argument("--interval", type=float, default=1.0,
+                      help="poll period in seconds (default: 1.0)")
+    tail.add_argument("--max-polls", type=int, default=None,
+                      help="stop after this many polls (default: until the "
+                           "server goes away or the campaign finishes)")
     return parser
 
 
 def report_main(args) -> int:
     events, skipped = load_events(args.run_dir)
     if not events:
-        print(f"no telemetry events under {args.run_dir} (expected *.jsonl files)",
+        # An empty directory is what a crashed-before-first-flush or
+        # not-yet-started run leaves behind; a report over it is vacuous,
+        # not an error — scripts iterating run dirs must keep going.
+        print(f"warning: no telemetry events under {args.run_dir} "
+              f"(expected *.jsonl files); nothing to report",
               file=sys.stderr)
-        return 2
-    processes = sorted({record.get("pid", 0) for record in events})
+        return 0
+    if not spans(events):
+        print(f"warning: no spans under {args.run_dir}; time-breakdown "
+              f"tables will be empty", file=sys.stderr)
+    processes = sorted({_as_int(record.get("pid", 0)) for record in events})
     print(f"telemetry: {len(events)} records from {len(processes)} process(es) "
           f"under {args.run_dir}"
           + (f" ({skipped} malformed lines skipped)" if skipped else ""))
@@ -293,6 +371,16 @@ def report_main(args) -> int:
                   f"{row['busy_seconds']:7.1f} {row['utilization']:5.1%} "
                   f"{row['mesh_bytes']:10d}")
 
+    latencies = latency_rows(events)
+    if latencies:
+        print("\nlatency percentiles (merged across processes):")
+        print(f"  {'histogram':28s} {'count':>7s} {'p50 ms':>9s} "
+              f"{'p95 ms':>9s} {'p99 ms':>9s}")
+        for row in latencies:
+            print(f"  {row['name']:28s} {row['count']:7d} "
+                  f"{1000.0 * row['p50']:9.2f} {1000.0 * row['p95']:9.2f} "
+                  f"{1000.0 * row['p99']:9.2f}")
+
     counters = merged_counters(events)
     if counters:
         print("\ncounters (all processes):")
@@ -314,6 +402,7 @@ def report_main(args) -> int:
             "breakdown": breakdown,
             "tier_ratios": tiers,
             "fleet": fleet,
+            "latency": latencies,
             "counters": counters,
         }, indent=2))
     return 0
@@ -324,10 +413,18 @@ def main(argv=None) -> int:
     try:
         if args.command == "report":
             return report_main(args)
+        if args.command == "tail":
+            from repro.telemetry.live import tail
+
+            return tail(args.address, interval=args.interval,
+                        max_polls=args.max_polls)
     except BrokenPipeError:
         # The reader left (``report ... | head``): the conventional quiet
         # exit, not a traceback.  Point stdout at devnull so the interpreter
         # teardown's implicit flush cannot raise the same error again.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 141
+    except KeyboardInterrupt:
+        # Ctrl-C is how a tail session ends; no traceback.
+        return 130
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -255,6 +255,28 @@ class TestCoordinatorArtifactPlane:
         assert ok and value == "artifact"
         assert plane.fetches_served == 1 and plane.bytes_out == len(payload)
 
+    def test_transfers_feed_the_byte_size_histogram(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry.live import MetricsSink
+
+        previous = telemetry.get_sink()
+        sink = MetricsSink()
+        telemetry.set_sink(sink)
+        try:
+            plane = CoordinatorArtifactPlane(ArtifactStore(tmp_path / "plane"))
+            handle = _FakeHandle()
+            plane.handle(
+                handle, protocol.ArtifactPush(_push_entries(KEY, "artifact")),
+                lambda _message: None,
+            )
+            plane.handle(handle, protocol.ArtifactFetch(KEY), lambda _m: None)
+        finally:
+            telemetry.set_sink(previous)
+        histogram = sink.registry.snapshot()["histograms"]["mesh.transfer.bytes"]
+        # One push absorbed + one fetch served, both the same payload.
+        assert histogram["count"] == 2
+        assert histogram["sum"] == 2.0 * plane.bytes_out
+
     def test_tampered_and_aliased_pushes_never_land(self, tmp_path):
         plane = CoordinatorArtifactPlane(ArtifactStore(tmp_path / "plane"))
         handle = _FakeHandle()
