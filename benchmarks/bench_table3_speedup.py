@@ -90,6 +90,13 @@ def test_pipeline_comparison(benchmark, tuning_config, bench_benchmarks):
           f"{report['artifact_cache']['evictions']} evictions")
     # Determinism is the contract: all four runs, one fingerprint.
     assert report["identical_fingerprints"]
+    # Cold-run regression gate: the staged pipeline's overlap machinery
+    # (persistent compile lane, lookahead window) must not cost more than
+    # 10% over the monolithic evaluator even with every cache cold.
+    assert report["staged_seconds"] <= 1.1 * report["monolithic_seconds"], (
+        f"staged cold run regressed: {report['staged_seconds']:.2f}s vs "
+        f"monolithic {report['monolithic_seconds']:.2f}s"
+    )
     # The warm rerun must actually reuse artifacts (the acceptance criterion:
     # artifact-cache hit ratio > 0 on a warm-started campaign rerun).
     assert report["warm_artifact_hits"] > 0

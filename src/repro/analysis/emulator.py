@@ -14,17 +14,74 @@ The machine is word-addressed for data (8-byte words) and byte-addressed for
 code.  ``CALL`` uses a register-window convention: the return address and
 registers ``r7``..``r14`` (plus vector registers) are saved on an internal
 control stack and restored by ``RET``; ``TCALL`` transfers without pushing.
+
+Dispatch
+--------
+
+Emulation is the dominant per-candidate cost of a tuning campaign (the
+``MeasureStage`` seam), so the interpreter ships two dispatch engines:
+
+* the **reference** engine — decode one instruction at a time through a
+  per-emulator cache and execute it through an if/elif chain over mnemonic
+  names (:meth:`Emulator._execute`).  Slow, but a direct transcription of the
+  ISA semantics; it is the oracle the table engine is differentially tested
+  against, and ``REPRO_EMULATOR_DISPATCH=reference`` forces it.
+* the **table** engine (the default) — programs are pre-decoded *once per
+  process* into a :class:`DecodedProgram` (keyed by the sha256 of ``.text``,
+  so the thousands of near-identical candidates of a campaign never re-decode
+  a byte they share with a previous binary) whose basic blocks are fused into
+  superinstructions: every straight-line run executes as a list of pre-bound
+  per-instruction closures (operands, immediates and branch targets resolved
+  at decode time, pypy-style) with the block's cycle cost pre-summed and a
+  single control-flow decision at the block tail.
+
+Both engines produce bit-for-bit identical :class:`ExecutionResult` values
+(output, return value, steps, cycles) and raise the same exceptions at the
+same program points; the step budget is enforced exactly by falling back to
+single-instruction stepping when a block straddles the limit.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.binary import BinaryImage, GLOBAL_BASE, HEAP_BASE, STACK_TOP
-from repro.backend.isa import BUILTIN_NAMES, MachInstr, decode_instruction
+from repro.backend.isa import (
+    BUILTIN_NAMES,
+    EncodingError,
+    MachInstr,
+    OPCODES_BY_NAME,
+    decode_instruction,
+)
 from repro.ir.values import wrap64
+
+#: Environment knob selecting the dispatch engine: ``"table"`` (default) or
+#: ``"reference"``.  Read per :meth:`Emulator.run`, so a test or CI job can
+#: flip engines without rebuilding anything.
+DISPATCH_ENV = "REPRO_EMULATOR_DISPATCH"
+TABLE_DISPATCH = "table"
+REFERENCE_DISPATCH = "reference"
+
+#: Bound on fused superinstruction length.  Long straight-line runs are split
+#: so the budget fast path (``steps + block_len <= max_steps``) stays tight.
+MAX_BLOCK_OPS = 64
+
+#: Bound on the process-level decoded-program cache (entries, LRU).  Each
+#: entry holds one ``.text`` plus its decoded blocks; campaigns revisit a
+#: small working set of distinct binaries per program.
+PROGRAM_CACHE_SIZE = 256
+
+
+def dispatch_mode() -> str:
+    """The configured dispatch engine (``"table"`` unless overridden)."""
+    mode = os.environ.get(DISPATCH_ENV, TABLE_DISPATCH).strip().lower()
+    return REFERENCE_DISPATCH if mode == REFERENCE_DISPATCH else TABLE_DISPATCH
 
 
 class EmulationError(Exception):
@@ -46,6 +103,9 @@ class ExecutionResult:
     exited: bool = False
     exit_code: int = 0
     assertion_failed: bool = False
+    #: Superinstruction blocks executed (table dispatch only; the reference
+    #: engine leaves it 0).  Telemetry — never part of observable behaviour.
+    blocks: int = 0
 
     @property
     def output_text(self) -> str:
@@ -54,6 +114,571 @@ class ExecutionResult:
     def observable_state(self) -> Tuple[int, str]:
         """The externally visible behaviour used for equivalence checks."""
         return (self.return_value, self.output_text)
+
+
+# ---------------------------------------------------------------------------
+# Table dispatch: pre-bound per-instruction closures
+# ---------------------------------------------------------------------------
+#
+# A *straight-line handler factory* takes an instruction's operand list and
+# returns a closure ``op(emu)`` executing it against an emulator's mutable
+# state.  A *tail factory* additionally receives the byte offset of the next
+# instruction and returns ``tail(emu, result) -> next_pc | None`` — branch
+# targets are resolved to absolute offsets at decode time, so taken and
+# fall-through edges are a single attribute-free return.  Closures capture
+# everything as default arguments (the fastest lookup CPython offers) and are
+# emulator-independent, which is what makes a DecodedProgram shareable across
+# every Emulator instance — and every thread — of the process.
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise EmulationError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return wrap64(quotient)
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EmulationError("integer modulo by zero")
+    return wrap64(a - _c_div(a, b) * b)
+
+
+_ALU_REG = {
+    "add": lambda a, b: wrap64(a + b),
+    "sub": lambda a, b: wrap64(a - b),
+    "mul": lambda a, b: wrap64(a * b),
+    "div": _c_div,
+    "mod": _c_mod,
+    "and": lambda a, b: wrap64(a & b),
+    "or": lambda a, b: wrap64(a | b),
+    "xor": lambda a, b: wrap64(a ^ b),
+    "shl": lambda a, b: wrap64(a << (b & 63)),
+    "shr": lambda a, b: wrap64(a >> (b & 63)),
+}
+_ALU_IMM = {
+    "addi": lambda a, imm: wrap64(a + imm),
+    "subi": lambda a, imm: wrap64(a - imm),
+    "muli": lambda a, imm: wrap64(a * imm),
+    "shli": lambda a, imm: wrap64(a << (imm & 63)),
+    "shri": lambda a, imm: wrap64(a >> (imm & 63)),
+    "andi": lambda a, imm: wrap64(a & imm),
+    "ori": lambda a, imm: wrap64(a | imm),
+    "xori": lambda a, imm: wrap64(a ^ imm),
+}
+_CMP = {
+    "cmpeq": lambda a, b: a == b,
+    "cmpne": lambda a, b: a != b,
+    "cmplt": lambda a, b: a < b,
+    "cmple": lambda a, b: a <= b,
+    "cmpgt": lambda a, b: a > b,
+    "cmpge": lambda a, b: a >= b,
+}
+
+_VEC = {
+    "vadd": lambda a, b: a + b,
+    "vsub": lambda a, b: a - b,
+    "vmul": lambda a, b: a * b,
+}
+
+_StraightOp = Callable[["Emulator"], None]
+_TailOp = Callable[["Emulator", ExecutionResult], Optional[int]]
+
+
+def _h_nop(ops) -> _StraightOp:
+    def op(emu):
+        pass
+
+    return op
+
+
+def _h_movi(ops) -> _StraightOp:
+    def op(emu, d=ops[0], value=wrap64(ops[1])):
+        emu.registers[d] = value
+
+    return op
+
+
+def _h_mov(ops) -> _StraightOp:
+    def op(emu, d=ops[0], s=ops[1]):
+        regs = emu.registers
+        regs[d] = regs[s]
+
+    return op
+
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+_WRAP64 = 1 << 64
+
+
+def _make_alu_reg(fn) -> Callable[[Sequence[int]], _StraightOp]:
+    def factory(ops):
+        def op(emu, _fn=fn, d=ops[0], a=ops[1], b=ops[2]):
+            regs = emu.registers
+            regs[d] = _fn(regs[a], regs[b])
+
+        return op
+
+    return factory
+
+
+def _make_alu_imm(fn) -> Callable[[Sequence[int]], _StraightOp]:
+    def factory(ops):
+        def op(emu, _fn=fn, d=ops[0], a=ops[1], imm=ops[2]):
+            regs = emu.registers
+            regs[d] = _fn(regs[a], imm)
+
+        return op
+
+    return factory
+
+
+# The inner-loop workhorses get hand-specialized closures with the 64-bit
+# wrap inlined (one function call per op instead of three); everything else
+# goes through the generic _ALU_REG/_ALU_IMM factories above.
+
+
+def _h_add(ops) -> _StraightOp:
+    def op(emu, d=ops[0], a=ops[1], b=ops[2], _m=_MASK64, _s=_SIGN64, _w=_WRAP64):
+        regs = emu.registers
+        value = (regs[a] + regs[b]) & _m
+        regs[d] = value - _w if value >= _s else value
+
+    return op
+
+
+def _h_sub(ops) -> _StraightOp:
+    def op(emu, d=ops[0], a=ops[1], b=ops[2], _m=_MASK64, _s=_SIGN64, _w=_WRAP64):
+        regs = emu.registers
+        value = (regs[a] - regs[b]) & _m
+        regs[d] = value - _w if value >= _s else value
+
+    return op
+
+
+def _h_mul(ops) -> _StraightOp:
+    def op(emu, d=ops[0], a=ops[1], b=ops[2], _m=_MASK64, _s=_SIGN64, _w=_WRAP64):
+        regs = emu.registers
+        value = (regs[a] * regs[b]) & _m
+        regs[d] = value - _w if value >= _s else value
+
+    return op
+
+
+def _h_addi(ops) -> _StraightOp:
+    def op(emu, d=ops[0], a=ops[1], imm=ops[2], _m=_MASK64, _s=_SIGN64, _w=_WRAP64):
+        regs = emu.registers
+        value = (regs[a] + imm) & _m
+        regs[d] = value - _w if value >= _s else value
+
+    return op
+
+
+def _h_subi(ops) -> _StraightOp:
+    def op(emu, d=ops[0], a=ops[1], imm=ops[2], _m=_MASK64, _s=_SIGN64, _w=_WRAP64):
+        regs = emu.registers
+        value = (regs[a] - imm) & _m
+        regs[d] = value - _w if value >= _s else value
+
+    return op
+
+
+def _h_muli(ops) -> _StraightOp:
+    def op(emu, d=ops[0], a=ops[1], imm=ops[2], _m=_MASK64, _s=_SIGN64, _w=_WRAP64):
+        regs = emu.registers
+        value = (regs[a] * imm) & _m
+        regs[d] = value - _w if value >= _s else value
+
+    return op
+
+
+def _make_cmp(fn) -> Callable[[Sequence[int]], _StraightOp]:
+    def factory(ops):
+        def op(emu, _fn=fn, d=ops[0], a=ops[1], b=ops[2]):
+            regs = emu.registers
+            regs[d] = 1 if _fn(regs[a], regs[b]) else 0
+
+        return op
+
+    return factory
+
+
+def _h_not(ops) -> _StraightOp:
+    def op(emu, d=ops[0], s=ops[1]):
+        regs = emu.registers
+        regs[d] = 1 if regs[s] == 0 else 0
+
+    return op
+
+
+def _h_neg(ops) -> _StraightOp:
+    def op(emu, _w=wrap64, d=ops[0], s=ops[1]):
+        regs = emu.registers
+        regs[d] = _w(-regs[s])
+
+    return op
+
+
+def _h_bnot(ops) -> _StraightOp:
+    def op(emu, _w=wrap64, d=ops[0], s=ops[1]):
+        regs = emu.registers
+        regs[d] = _w(~regs[s])
+
+    return op
+
+
+def _h_ld(ops) -> _StraightOp:
+    def op(emu, d=ops[0], b=ops[1], off=ops[2]):
+        regs = emu.registers
+        regs[d] = emu.memory.get(regs[b] + off, 0)
+
+    return op
+
+
+def _h_st(ops) -> _StraightOp:
+    def op(emu, _w=wrap64, b=ops[0], off=ops[1], s=ops[2]):
+        regs = emu.registers
+        emu.memory[regs[b] + off] = _w(regs[s])
+
+    return op
+
+
+def _h_ldx(ops) -> _StraightOp:
+    def op(emu, d=ops[0], b=ops[1], i=ops[2]):
+        regs = emu.registers
+        regs[d] = emu.memory.get(regs[b] + regs[i], 0)
+
+    return op
+
+
+def _h_stx(ops) -> _StraightOp:
+    def op(emu, _w=wrap64, b=ops[0], i=ops[1], s=ops[2]):
+        regs = emu.registers
+        emu.memory[regs[b] + regs[i]] = _w(regs[s])
+
+    return op
+
+
+def _h_leag(ops) -> _StraightOp:
+    def op(emu, d=ops[0], addr=ops[1]):
+        emu.registers[d] = addr
+
+    return op
+
+
+def _h_leas(ops) -> _StraightOp:
+    def op(emu, d=ops[0], off=ops[1]):
+        regs = emu.registers
+        regs[d] = regs[15] + off
+
+    return op
+
+
+def _h_ldg(ops) -> _StraightOp:
+    def op(emu, d=ops[0], addr=ops[1]):
+        emu.registers[d] = emu.memory.get(addr, 0)
+
+    return op
+
+
+def _h_stg(ops) -> _StraightOp:
+    def op(emu, _w=wrap64, addr=ops[0], s=ops[1]):
+        emu.memory[addr] = _w(emu.registers[s])
+
+    return op
+
+
+def _h_select(ops) -> _StraightOp:
+    def op(emu, d=ops[0], c=ops[1], t=ops[2], f=ops[3]):
+        regs = emu.registers
+        regs[d] = regs[t] if regs[c] != 0 else regs[f]
+
+    return op
+
+
+def _h_spadd(ops) -> _StraightOp:
+    def op(emu, off=ops[0]):
+        regs = emu.registers
+        regs[15] = regs[15] + off
+
+    return op
+
+
+def _h_vld(ops) -> _StraightOp:
+    def op(emu, v=ops[0], a=ops[1], b=ops[2]):
+        regs = emu.registers
+        base = regs[a] + regs[b]
+        get = emu.memory.get
+        emu.vector_registers[v] = [
+            get(base, 0), get(base + 1, 0), get(base + 2, 0), get(base + 3, 0)
+        ]
+
+    return op
+
+
+def _h_vst(ops) -> _StraightOp:
+    def op(emu, _w=wrap64, v=ops[0], a=ops[1], b=ops[2]):
+        regs = emu.registers
+        base = regs[a] + regs[b]
+        memory = emu.memory
+        lanes = emu.vector_registers[v]
+        for index in range(4):
+            memory[base + index] = _w(lanes[index])
+
+    return op
+
+
+def _make_vec(fn) -> Callable[[Sequence[int]], _StraightOp]:
+    def factory(ops):
+        def op(emu, _fn=fn, _w=wrap64, d=ops[0], a=ops[1], b=ops[2]):
+            vectors = emu.vector_registers
+            left = vectors[a]
+            right = vectors[b]
+            vectors[d] = [_w(_fn(x, y)) for x, y in zip(left, right)]
+
+        return op
+
+    return factory
+
+
+_STRAIGHT_FACTORIES: Dict[str, Callable[[Sequence[int]], _StraightOp]] = {
+    "nop": _h_nop,
+    "movi": _h_movi,
+    "movis": _h_movi,
+    "mov": _h_mov,
+    "not": _h_not,
+    "neg": _h_neg,
+    "bnot": _h_bnot,
+    "ld": _h_ld,
+    "st": _h_st,
+    "ldx": _h_ldx,
+    "stx": _h_stx,
+    "leag": _h_leag,
+    "leas": _h_leas,
+    "ldg": _h_ldg,
+    "stg": _h_stg,
+    "select": _h_select,
+    "spadd": _h_spadd,
+    "vld": _h_vld,
+    "vst": _h_vst,
+}
+_STRAIGHT_FACTORIES.update({name: _make_alu_reg(fn) for name, fn in _ALU_REG.items()})
+_STRAIGHT_FACTORIES.update({name: _make_alu_imm(fn) for name, fn in _ALU_IMM.items()})
+_STRAIGHT_FACTORIES.update({name: _make_cmp(fn) for name, fn in _CMP.items()})
+_STRAIGHT_FACTORIES.update({name: _make_vec(fn) for name, fn in _VEC.items()})
+_STRAIGHT_FACTORIES.update(
+    {
+        "add": _h_add,
+        "sub": _h_sub,
+        "mul": _h_mul,
+        "addi": _h_addi,
+        "subi": _h_subi,
+        "muli": _h_muli,
+    }
+)
+
+
+def _t_hlt(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result):
+        return None
+
+    return tail
+
+
+def _t_jmp(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, target=next_pc + ops[0]):
+        return target
+
+    return tail
+
+
+def _t_beqz(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, r=ops[0], taken=next_pc + ops[1], fall=next_pc):
+        return taken if emu.registers[r] == 0 else fall
+
+    return tail
+
+
+def _t_bnez(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, r=ops[0], taken=next_pc + ops[1], fall=next_pc):
+        return taken if emu.registers[r] != 0 else fall
+
+    return tail
+
+
+def _t_call(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, target=ops[0], ret=next_pc):
+        emu._push_frame(ret)
+        return target
+
+    return tail
+
+
+def _t_tcall(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, target=ops[0]):
+        return target
+
+    return tail
+
+
+def _t_ret(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result):
+        if not emu.control_stack:
+            return None
+        return emu._pop_frame()
+
+    return tail
+
+
+def _t_ijmp(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, r=ops[0], limit=text_len):
+        target = emu.registers[r]
+        if not 0 <= target < limit:
+            raise EmulationError(f"indirect jump out of range: {target}")
+        return target
+
+    return tail
+
+
+def _t_syscall(ops, next_pc, text_len) -> _TailOp:
+    def tail(emu, result, number=ops[0], fall=next_pc):
+        return None if emu._syscall(number, result) else fall
+
+    return tail
+
+
+_TAIL_FACTORIES: Dict[str, Callable[[Sequence[int], int, int], _TailOp]] = {
+    "hlt": _t_hlt,
+    "jmp": _t_jmp,
+    "beqz": _t_beqz,
+    "bnez": _t_bnez,
+    "call": _t_call,
+    "tcall": _t_tcall,
+    "ret": _t_ret,
+    "ijmp": _t_ijmp,
+    "syscall": _t_syscall,
+}
+
+
+def _fallthrough(offset: int) -> _TailOp:
+    """A block tail that is not an instruction: continue at ``offset``.
+
+    Used where a straight-line run is split (the :data:`MAX_BLOCK_OPS` bound,
+    a decode error *past* the entry, or running off the end of ``.text``) —
+    the next dispatch of ``offset`` re-raises any fault exactly where the
+    reference engine would, because blocks are built lazily from reached pcs.
+    """
+
+    def tail(emu, result, target=offset):
+        return target
+
+    return tail
+
+
+#: A fused superinstruction: ``(straight_ops, step_count, cycles, tail)``.
+#: ``step_count`` counts real instructions (tail included when it is one);
+#: ``cycles`` is their pre-summed abstract latency.  Plain tuples: block
+#: dispatch is the single hottest load of a campaign.
+BasicBlock = Tuple[Tuple[_StraightOp, ...], int, int, _TailOp]
+
+
+class DecodedProgram:
+    """The decoded, closure-compiled view of one ``.text`` section.
+
+    Blocks are built lazily from actually-reached pcs (so decode faults keep
+    their runtime timing) and memoized forever: the object is immutable input
+    plus a monotonically growing block map, safe to share across emulators
+    and threads.  Jumping into the middle of an existing block simply builds
+    a second, overlapping block starting at the target — blocks are pure
+    decoded views, not a partition.
+    """
+
+    __slots__ = ("text", "blocks")
+
+    def __init__(self, text: bytes) -> None:
+        self.text = text
+        self.blocks: Dict[int, BasicBlock] = {}
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """The block starting at ``pc`` (built and memoized on first use)."""
+        text = self.text
+        if not 0 <= pc < len(text):
+            raise EmulationError(f"program counter out of range: {pc}")
+        ops: List[_StraightOp] = []
+        cycles = 0
+        offset = pc
+        text_len = len(text)
+        while True:
+            try:
+                instr, next_offset = decode_instruction(text, offset)
+            except EncodingError:
+                if offset == pc:
+                    # The entry itself is undecodable: raise now, which *is*
+                    # runtime for a lazily built block — the reference engine
+                    # faults at exactly this pc.
+                    raise
+                tail = _fallthrough(offset)
+                break
+            name = instr.name
+            cycles += OPCODES_BY_NAME[name].cycles
+            tail_factory = _TAIL_FACTORIES.get(name)
+            if tail_factory is not None:
+                tail = tail_factory(instr.operands, next_offset, text_len)
+                block = (tuple(ops), len(ops) + 1, cycles, tail)
+                self.blocks[pc] = block
+                return block
+            ops.append(_STRAIGHT_FACTORIES[name](instr.operands))
+            offset = next_offset
+            if offset >= text_len or len(ops) >= MAX_BLOCK_OPS:
+                tail = _fallthrough(offset)
+                break
+        block = (tuple(ops), len(ops), cycles, tail)
+        self.blocks[pc] = block
+        return block
+
+
+_PROGRAM_CACHE: "OrderedDict[bytes, DecodedProgram]" = OrderedDict()
+_PROGRAM_CACHE_LOCK = threading.Lock()
+
+
+def decoded_program(text: bytes) -> DecodedProgram:
+    """The process-level :class:`DecodedProgram` for ``text``.
+
+    Keyed by ``sha256(text)`` and bounded by :data:`PROGRAM_CACHE_SIZE`
+    (LRU), so a campaign's near-identical candidates share decode work and
+    already-built blocks across every emulation — including across the
+    thread lanes of a worker, which all read one instance.
+    """
+    key = hashlib.sha256(text).digest()
+    with _PROGRAM_CACHE_LOCK:
+        program = _PROGRAM_CACHE.get(key)
+        if program is not None:
+            _PROGRAM_CACHE.move_to_end(key)
+            return program
+    program = DecodedProgram(text)
+    with _PROGRAM_CACHE_LOCK:
+        existing = _PROGRAM_CACHE.get(key)
+        if existing is not None:
+            return existing
+        _PROGRAM_CACHE[key] = program
+        while len(_PROGRAM_CACHE) > PROGRAM_CACHE_SIZE:
+            _PROGRAM_CACHE.popitem(last=False)
+    return program
+
+
+def reset_decoded_programs() -> None:
+    """Forget every cached decoded program (test hook)."""
+    with _PROGRAM_CACHE_LOCK:
+        _PROGRAM_CACHE.clear()
+
+
+def decoded_program_cache_size() -> int:
+    """Number of decoded programs currently cached (bench/telemetry probe)."""
+    with _PROGRAM_CACHE_LOCK:
+        return len(_PROGRAM_CACHE)
 
 
 class Emulator:
@@ -123,7 +748,30 @@ class Emulator:
         pc = self.image.entry_point if entry is None else entry
         for index, value in enumerate(args or []):
             self.registers[index + 1] = wrap64(value)
-        steps = 0
+        # Each run's cycle count stands alone: a reused emulator instance
+        # (run_function-style probing) must not leak the previous run's
+        # cycles into this run's cost-model numbers.
+        self.cycles = 0
+        if dispatch_mode() == REFERENCE_DISPATCH:
+            steps = self._run_reference(pc, 0, max_steps, result)
+        else:
+            steps = self._run_table(pc, max_steps, result)
+        result.steps = steps
+        result.cycles = self.cycles
+        result.return_value = wrap64(self.registers[0])
+        result.output = self.output
+        return result
+
+    def _run_reference(
+        self, pc: int, steps: int, max_steps: int, result: ExecutionResult
+    ) -> int:
+        """The reference engine: decode-and-execute one instruction per loop.
+
+        Also the table engine's exact-budget continuation: when a fused block
+        would overshoot ``max_steps``, execution hands over here (at most one
+        block's worth of instructions remain before the limit), preserving
+        the limit check — and its exception — instruction by instruction.
+        """
         while True:
             if steps >= max_steps:
                 raise EmulationLimitExceeded(
@@ -134,13 +782,41 @@ class Emulator:
             self.cycles += instr.spec.cycles
             new_pc = self._execute(instr, pc, next_pc, result)
             if new_pc is None:
-                break
+                return steps
             pc = new_pc
-        result.steps = steps
-        result.cycles = self.cycles
-        result.return_value = wrap64(self.registers[0])
-        result.output = self.output
-        return result
+
+    def _run_table(self, pc: int, max_steps: int, result: ExecutionResult) -> int:
+        """The table engine: one fused superinstruction block per loop."""
+        program = decoded_program(self.text)
+        blocks = program.blocks
+        build = program.block_at
+        steps = 0
+        cycles = 0
+        executed_blocks = 0
+        while True:
+            block = blocks.get(pc)
+            if block is None:
+                block = build(pc)
+            ops, count, block_cycles, tail = block
+            if steps + count > max_steps:
+                # The block straddles the step budget: flush the fast-path
+                # counters and finish under the reference engine so the
+                # limit is enforced at exactly the right instruction.
+                self.cycles += cycles
+                result.blocks = executed_blocks
+                return self._run_reference(pc, steps, max_steps, result)
+            for op in ops:
+                op(self)
+            steps += count
+            cycles += block_cycles
+            executed_blocks += 1
+            next_pc = tail(self, result)
+            if next_pc is None:
+                break
+            pc = next_pc
+        self.cycles += cycles
+        result.blocks = executed_blocks
+        return steps
 
     # -- instruction semantics ---------------------------------------------------
 
@@ -240,8 +916,8 @@ class Emulator:
             for lane in range(4):
                 self.write_word(base + lane, self.vector_registers[ops[0]][lane])
             return next_pc
-        if name in ("vadd", "vsub", "vmul"):
-            op = {"vadd": lambda a, b: a + b, "vsub": lambda a, b: a - b, "vmul": lambda a, b: a * b}[name]
+        if name in _VEC:
+            op = _VEC[name]
             left = self.vector_registers[ops[1]]
             right = self.vector_registers[ops[2]]
             self.vector_registers[ops[0]] = [wrap64(op(a, b)) for a, b in zip(left, right)]
@@ -353,53 +1029,6 @@ class Emulator:
         else:  # pragma: no cover - defensive
             raise EmulationError(f"unimplemented builtin {name}")
         return False
-
-
-def _c_div(a: int, b: int) -> int:
-    if b == 0:
-        raise EmulationError("integer division by zero")
-    quotient = abs(a) // abs(b)
-    if (a < 0) != (b < 0):
-        quotient = -quotient
-    return wrap64(quotient)
-
-
-def _c_mod(a: int, b: int) -> int:
-    if b == 0:
-        raise EmulationError("integer modulo by zero")
-    return wrap64(a - _c_div(a, b) * b)
-
-
-_ALU_REG = {
-    "add": lambda a, b: wrap64(a + b),
-    "sub": lambda a, b: wrap64(a - b),
-    "mul": lambda a, b: wrap64(a * b),
-    "div": _c_div,
-    "mod": _c_mod,
-    "and": lambda a, b: wrap64(a & b),
-    "or": lambda a, b: wrap64(a | b),
-    "xor": lambda a, b: wrap64(a ^ b),
-    "shl": lambda a, b: wrap64(a << (b & 63)),
-    "shr": lambda a, b: wrap64(a >> (b & 63)),
-}
-_ALU_IMM = {
-    "addi": lambda a, imm: wrap64(a + imm),
-    "subi": lambda a, imm: wrap64(a - imm),
-    "muli": lambda a, imm: wrap64(a * imm),
-    "shli": lambda a, imm: wrap64(a << (imm & 63)),
-    "shri": lambda a, imm: wrap64(a >> (imm & 63)),
-    "andi": lambda a, imm: wrap64(a & imm),
-    "ori": lambda a, imm: wrap64(a | imm),
-    "xori": lambda a, imm: wrap64(a ^ imm),
-}
-_CMP = {
-    "cmpeq": lambda a, b: a == b,
-    "cmpne": lambda a, b: a != b,
-    "cmplt": lambda a, b: a < b,
-    "cmple": lambda a, b: a <= b,
-    "cmpgt": lambda a, b: a > b,
-    "cmpge": lambda a, b: a >= b,
-}
 
 
 def run_program(

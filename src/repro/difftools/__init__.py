@@ -16,6 +16,8 @@ from repro.difftools.ncd import (
     ncd,
     ncd_images,
     compressed_size,
+    JointCompressor,
+    NCD_EXACT_ENV,
     NCDFitness,
     CachedNCDFitness,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "ncd",
     "ncd_images",
     "compressed_size",
+    "JointCompressor",
+    "NCD_EXACT_ENV",
     "NCDFitness",
     "CachedNCDFitness",
     "BinHunt",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import bz2
 import hashlib
 import lzma
+import os
 import threading
 import zlib
 from collections import OrderedDict
@@ -27,6 +28,77 @@ _COMPRESSORS: Dict[str, Callable[[bytes], bytes]] = {
     "zlib": lambda data: zlib.compress(data, 9),
     "bz2": lambda data: bz2.compress(data, 9),
 }
+
+#: Environment knob forcing every joint compression through the exact
+#: one-shot ``C(prefix + suffix)`` path, disabling the incremental lane.
+NCD_EXACT_ENV = "REPRO_NCD_EXACT"
+
+
+def _exact_forced() -> bool:
+    return os.environ.get(NCD_EXACT_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+class JointCompressor:
+    """``len(C(prefix + suffix))`` without recompressing ``prefix`` per call.
+
+    Every joint compression of a tuning campaign shares the same prefix (the
+    O0 baseline ``.text``), so the prefix's compression work is a loop
+    invariant.  For **zlib**, deflate output is a pure function of the input
+    byte stream and the compression parameters — chunk boundaries between
+    ``compress()`` calls leave no trace in the output — so priming one
+    ``zlib.compressobj`` with the prefix and ``copy()``-ing it per candidate
+    yields totals byte-identical to ``zlib.compress(prefix + suffix, 9)``
+    while paying only the suffix's compression.  **lzma** and **bz2** fall
+    back to the exact one-shot path: CPython's ``lzma`` module exposes
+    neither a compressor ``copy()`` nor a preset-dictionary filter, and
+    ``bz2`` has no streaming-state clone either, so an incremental lane
+    cannot be made bit-exact for them (and fingerprints embed these sizes
+    via fitness values, so bit-exact is non-negotiable).
+
+    :data:`NCD_EXACT_ENV` (``REPRO_NCD_EXACT=1``) forces the one-shot path
+    for every compressor — the differential-testing escape hatch.
+    """
+
+    __slots__ = (
+        "prefix",
+        "compressor",
+        "incremental_available",
+        "incremental_joints",
+        "exact_joints",
+        "_compress",
+        "_primed",
+        "_primed_length",
+    )
+
+    def __init__(self, prefix: bytes, compressor: str = "lzma") -> None:
+        try:
+            self._compress = _COMPRESSORS[compressor]
+        except KeyError as exc:
+            raise ValueError(f"unknown compressor {compressor!r}") from exc
+        self.prefix = prefix
+        self.compressor = compressor
+        self.incremental_joints = 0
+        self.exact_joints = 0
+        self._primed = None
+        self._primed_length = 0
+        if compressor == "zlib":
+            primed = zlib.compressobj(9)
+            self._primed_length = len(primed.compress(prefix))
+            self._primed = primed
+        self.incremental_available = self._primed is not None
+
+    def joint_size(self, suffix: bytes) -> int:
+        """Length of the joint compression ``C(prefix + suffix)``."""
+        primed = self._primed
+        if primed is not None and not _exact_forced():
+            # compressobj.copy() snapshots the primed deflate state; the
+            # clone is private to this call, so concurrent scorers only
+            # contend on the (internally locked) copy itself.
+            clone = primed.copy()
+            self.incremental_joints += 1
+            return self._primed_length + len(clone.compress(suffix)) + len(clone.flush())
+        self.exact_joints += 1
+        return len(self._compress(self.prefix + suffix))
 
 
 def compressed_size(data: bytes, compressor: str = "lzma") -> int:
@@ -87,10 +159,13 @@ class CachedNCDFitness:
     In a tuning run every candidate is measured against the *same* O0
     baseline, so ``C(baseline)`` is a constant that plain :func:`ncd`
     recomputes on every call.  This variant compresses the baseline ``.text``
-    once, resolves the compressor callable once, and keeps an LRU of results
-    keyed by the candidate ``.text`` fingerprint — search strategies revisit
-    binaries that map to identical code far more often than flag vectors
-    repeat.  Returned values are bit-identical to :class:`NCDFitness`.
+    once, resolves the compressor callable once, routes the joint
+    ``C(baseline || candidate)`` through a :class:`JointCompressor` (so under
+    zlib only the candidate suffix is compressed), and keeps an LRU of
+    results keyed by the candidate ``.text`` fingerprint — search strategies
+    revisit binaries that map to identical code far more often than flag
+    vectors repeat.  Returned values are bit-identical to
+    :class:`NCDFitness`.
     """
 
     baseline: BinaryImage
@@ -109,6 +184,7 @@ class CachedNCDFitness:
             raise ValueError(f"unknown compressor {self.compressor!r}") from exc
         self._baseline_text = self.baseline.text
         self._baseline_size = len(self._compress(self._baseline_text))
+        self._joint = JointCompressor(self._baseline_text, self.compressor)
         self._cache: "OrderedDict[str, float]" = OrderedDict()
         # Thread mappers share one fitness across workers; the LRU's
         # get/move_to_end/popitem sequence is not atomic without this (a
@@ -168,7 +244,7 @@ class CachedNCDFitness:
         if not self._baseline_text and not text:
             return 0.0
         c_y = len(self._compress(text)) if compressed_size is None else compressed_size
-        c_xy = len(self._compress(self._baseline_text + text))
+        c_xy = self._joint.joint_size(text)
         return _ncd_from_sizes(self._baseline_size, c_y, c_xy)
 
     @property

@@ -352,3 +352,208 @@ def run_pipeline_comparison(
         "observability": observability_report,
         "mesh_join": mesh_join,
     }
+
+
+def run_emulator_dispatch_bench(
+    family: str = "llvm",
+    benchmark_names: Sequence[str] = ("462.libquantum", "429.mcf"),
+    repeats: int = 3,
+    ncd_rounds: int = 30,
+    lane_rounds: int = 50,
+) -> Dict[str, object]:
+    """The hot-path engine report: dispatch, incremental NCD, compile lane.
+
+    Three sections, all parity-checked:
+
+    * ``dispatch`` — per-benchmark emulator wall clock and steps/sec under
+      the reference engine vs. the table/superinstruction engine (best of
+      ``repeats``), with field-for-field ``ExecutionResult`` equality;
+    * ``ncd`` — joint-compression throughput of the exact one-shot path vs.
+      the incremental primed-``compressobj`` lane per compressor, with
+      value equality asserted;
+    * ``lane`` — per-batch executor churn (the old per-generation
+      ``ThreadPoolExecutor``) vs. submitting to the persistent shared
+      compile lane.
+    """
+    import os as _os
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.analysis.emulator import (
+        DISPATCH_ENV,
+        REFERENCE_DISPATCH,
+        TABLE_DISPATCH,
+        reset_decoded_programs,
+        run_program,
+    )
+    from repro.difftools.ncd import _COMPRESSORS, NCD_EXACT_ENV, JointCompressor
+    from repro.tuner.pipeline import shared_compile_lane
+
+    def _timed(fn) -> float:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    compiler = make_compiler(family)
+    previous_mode = _os.environ.get(DISPATCH_ENV)
+    dispatch_rows: List[Dict[str, object]] = []
+    total_reference_seconds = 0.0
+    total_table_seconds = 0.0
+    total_steps = 0
+    parity = True
+    try:
+        for name in benchmark_names:
+            workload = benchmark(name)
+            image = compiler.compile_level(workload.source, "O2", name=name).image
+            run = lambda: run_program(  # noqa: E731
+                image, args=workload.arguments, inputs=workload.inputs
+            )
+            _os.environ[DISPATCH_ENV] = REFERENCE_DISPATCH
+            reference_result = run()
+            reference_seconds = _timed(run)
+            _os.environ[DISPATCH_ENV] = TABLE_DISPATCH
+            reset_decoded_programs()
+            table_result = run()  # includes the one-time decode; timed runs are warm
+            table_seconds = _timed(run)
+            row_parity = (
+                reference_result.observable_state() == table_result.observable_state()
+                and reference_result.steps == table_result.steps
+                and reference_result.cycles == table_result.cycles
+                and reference_result.exited == table_result.exited
+                and reference_result.exit_code == table_result.exit_code
+                and reference_result.assertion_failed == table_result.assertion_failed
+            )
+            parity = parity and row_parity
+            total_reference_seconds += reference_seconds
+            total_table_seconds += table_seconds
+            total_steps += reference_result.steps
+            dispatch_rows.append(
+                {
+                    "benchmark": name,
+                    "steps": reference_result.steps,
+                    "blocks": table_result.blocks,
+                    "reference_seconds": reference_seconds,
+                    "table_seconds": table_seconds,
+                    "reference_steps_per_second": (
+                        reference_result.steps / reference_seconds
+                        if reference_seconds else 0.0
+                    ),
+                    "table_steps_per_second": (
+                        table_result.steps / table_seconds if table_seconds else 0.0
+                    ),
+                    "speedup": (
+                        reference_seconds / table_seconds if table_seconds else 0.0
+                    ),
+                    "identical_results": row_parity,
+                }
+            )
+    finally:
+        if previous_mode is None:
+            _os.environ.pop(DISPATCH_ENV, None)
+        else:
+            _os.environ[DISPATCH_ENV] = previous_mode
+
+    # -- incremental NCD ----------------------------------------------------
+    ncd_workload = benchmark(benchmark_names[0])
+    baseline_text = compiler.compile_level(
+        ncd_workload.source, "O0", name="ncd-base"
+    ).image.text
+    candidate_texts = [
+        compiler.compile_level(ncd_workload.source, level, name="ncd-cand").image.text
+        for level in ("O1", "O2", "O3", "Os")
+    ]
+    previous_exact = _os.environ.get(NCD_EXACT_ENV)
+    ncd_rows: List[Dict[str, object]] = []
+    try:
+        for compressor in sorted(_COMPRESSORS):
+            joint = JointCompressor(baseline_text, compressor)
+
+            def _score_all():
+                for text in candidate_texts:
+                    joint.joint_size(text)
+
+            def _rounds():
+                for _ in range(ncd_rounds):
+                    _score_all()
+
+            _os.environ[NCD_EXACT_ENV] = "1"
+            exact_values = [joint.joint_size(text) for text in candidate_texts]
+            exact_seconds = _timed(_rounds)
+            _os.environ.pop(NCD_EXACT_ENV, None)
+            incremental_values = [joint.joint_size(text) for text in candidate_texts]
+            incremental_seconds = _timed(_rounds)
+            ncd_rows.append(
+                {
+                    "compressor": compressor,
+                    "incremental_available": joint.incremental_available,
+                    "exact_seconds": exact_seconds,
+                    "incremental_seconds": incremental_seconds,
+                    "speedup": (
+                        exact_seconds / incremental_seconds
+                        if incremental_seconds else 0.0
+                    ),
+                    "identical_values": exact_values == incremental_values,
+                }
+            )
+    finally:
+        if previous_exact is None:
+            _os.environ.pop(NCD_EXACT_ENV, None)
+        else:
+            _os.environ[NCD_EXACT_ENV] = previous_exact
+
+    # -- compile lane -------------------------------------------------------
+    def _noop() -> None:
+        return None
+
+    def _fresh_executor_per_batch():
+        for _ in range(lane_rounds):
+            executor = ThreadPoolExecutor(max_workers=2, thread_name_prefix="bench-lane")
+            executor.submit(_noop).result()
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _persistent_lane():
+        lane = shared_compile_lane()
+        for _ in range(lane_rounds):
+            lane.submit(_noop).result()
+
+    fresh_seconds = _timed(_fresh_executor_per_batch)
+    persistent_seconds = _timed(_persistent_lane)
+
+    aggregate_speedup = (
+        total_reference_seconds / total_table_seconds if total_table_seconds else 0.0
+    )
+    return {
+        "kind": "hot_path_engine",
+        "compiler": family,
+        "benchmarks": list(benchmark_names),
+        "dispatch": {
+            "rows": dispatch_rows,
+            "total_steps": total_steps,
+            "reference_seconds": total_reference_seconds,
+            "table_seconds": total_table_seconds,
+            "reference_steps_per_second": (
+                total_steps / total_reference_seconds
+                if total_reference_seconds else 0.0
+            ),
+            "table_steps_per_second": (
+                total_steps / total_table_seconds if total_table_seconds else 0.0
+            ),
+            "aggregate_speedup": aggregate_speedup,
+            "identical_results": parity,
+        },
+        "ncd": {
+            "rows": ncd_rows,
+            "identical_values": all(row["identical_values"] for row in ncd_rows),
+        },
+        "lane": {
+            "rounds": lane_rounds,
+            "fresh_executor_seconds": fresh_seconds,
+            "persistent_lane_seconds": persistent_seconds,
+            "speedup": (
+                fresh_seconds / persistent_seconds if persistent_seconds else 0.0
+            ),
+        },
+    }

@@ -58,6 +58,8 @@ from repro.tuner.pipeline import (
     TraceArtifact,
     reset_shared_artifact_caches,
     shared_artifact_cache,
+    shared_compile_lane,
+    shutdown_compile_lane,
 )
 from repro.tuner.store import (
     DEFAULT_STORE_MAX_BYTES,
@@ -107,6 +109,8 @@ __all__ = [
     "reset_persistent_stores",
     "reset_shared_artifact_caches",
     "shared_artifact_cache",
+    "shared_compile_lane",
+    "shutdown_compile_lane",
     "BinTuner",
     "BinTunerConfig",
     "TuningResult",

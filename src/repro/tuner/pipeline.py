@@ -44,8 +44,10 @@ emulation and scoring execute, overlapping the two dominant stage costs.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from threading import Lock
@@ -281,6 +283,55 @@ def reset_shared_artifact_caches() -> None:
         _SHARED_CACHES.clear()
 
 
+#: Default compile-lane lookahead: how many candidates the lane may run
+#: ahead of the measure/score lane within one batch.
+DEFAULT_COMPILE_LOOKAHEAD = 4
+
+#: Default in-flight artifact budget: once the compiled-but-unconsumed
+#: artifacts of a batch exceed this many bytes, the lane stops submitting
+#: new compiles (one submission always stays in flight so progress never
+#: stalls).
+DEFAULT_INFLIGHT_ARTIFACT_BYTES = 64 * 1024 * 1024
+
+_COMPILE_LANE: Optional[Tuple[int, ThreadPoolExecutor]] = None
+_COMPILE_LANE_LOCK = Lock()
+
+
+def shared_compile_lane() -> ThreadPoolExecutor:
+    """The process-wide compile-lane executor (created on first use).
+
+    One lane is shared by every staged evaluator in the process — including
+    all workers of a thread mapper — so batches stop paying executor
+    construction and thread spawn per generation (the measured cold-run
+    staged-vs-monolithic regression).  The singleton is keyed by pid: a
+    fork-spawned pool worker inherits the parent's executor object *without*
+    its threads, and submitting to that husk would hang forever, so each
+    process lazily builds its own.
+    """
+    global _COMPILE_LANE
+    pid = os.getpid()
+    with _COMPILE_LANE_LOCK:
+        if _COMPILE_LANE is None or _COMPILE_LANE[0] != pid:
+            _COMPILE_LANE = (
+                pid,
+                ThreadPoolExecutor(
+                    max_workers=min(8, max(2, os.cpu_count() or 2)),
+                    thread_name_prefix="compile-lane",
+                ),
+            )
+        return _COMPILE_LANE[1]
+
+
+def shutdown_compile_lane() -> None:
+    """Tear down the process-wide compile lane (test hook / clean exit)."""
+    global _COMPILE_LANE
+    with _COMPILE_LANE_LOCK:
+        lane = _COMPILE_LANE
+        _COMPILE_LANE = None
+    if lane is not None and lane[0] == os.getpid():
+        lane[1].shutdown(wait=False, cancel_futures=True)
+
+
 @dataclass(frozen=True)
 class CompiledArtifact:
     """The compile stage's output: the linked image plus score-stage inputs.
@@ -452,9 +503,17 @@ class MeasureStage:
                 artifact, time.perf_counter() - started, True,
                 tier == STORE_TIER, tier == MESH_TIER,
             )
+        emulate_started = time.perf_counter()
         result = run_program(
             image, args=self.arguments, inputs=self.inputs, max_steps=self.max_steps
         )
+        sink = get_sink()
+        if sink.enabled:
+            emulate_seconds = time.perf_counter() - emulate_started
+            sink.incr("emulator.steps", result.steps)
+            sink.incr("emulator.blocks", result.blocks)
+            if emulate_seconds > 0:
+                sink.gauge("measure.steps_per_second", result.steps / emulate_seconds)
         artifact = TraceArtifact(
             behaviour=result.observable_state(), steps=result.steps, cycles=result.cycles
         )
@@ -518,6 +577,11 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
     artifact_cache: Optional[ArtifactCache] = None
     store_dir: Optional[str] = None
     store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES
+    #: How many compiles the lane may run ahead of measure/score per batch.
+    lookahead: int = DEFAULT_COMPILE_LOOKAHEAD
+    #: Byte budget for compiled-but-unconsumed artifacts per batch; ``None``
+    #: disables the cap.  Plain configuration — pickles to workers.
+    inflight_artifact_bytes: Optional[int] = DEFAULT_INFLIGHT_ARTIFACT_BYTES
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -727,28 +791,77 @@ class StagedCandidateEvaluator(TunerCandidateEvaluator):
     def __call__(self, key: FlagKey) -> CandidateResult:
         return self._finish(self._compile_outcome(key))
 
+    @staticmethod
+    def _outcome_bytes(outcome: StageOutcome) -> int:
+        """Approximate resident size of a compile outcome's artifact."""
+        artifact = outcome.value
+        image = getattr(artifact, "image", None)
+        if image is None:
+            return 0
+        return len(image.text) + len(image.rodata)
+
     def evaluate_batch(self, keys: Sequence[FlagKey]) -> List[CandidateResult]:
         """Evaluate a batch with the compile lane overlapping measure+score.
 
-        All compiles are submitted to a single dedicated lane up front;
-        the main lane consumes artifacts in submission order and runs
-        emulation plus scoring, so while candidate *k* is being measured the
-        lane is already compiling candidate *k+1*.  Results are assembled in
+        Compiles run on the persistent process-wide lane
+        (:func:`shared_compile_lane` — built once, not per generation), at
+        most ``lookahead`` submissions ahead of the measure/score lane, and
+        the window additionally narrows when the compiled-but-unconsumed
+        artifacts exceed ``inflight_artifact_bytes`` (at least one
+        submission always stays in flight, so the cap can bound memory but
+        never progress).  While candidate *k* is being measured the lane is
+        already compiling *k+1* .. *k+lookahead*.  Results are consumed in
         submission order, so ordering — and therefore every record and
-        fingerprint downstream — is identical to the sequential path.
+        fingerprint downstream — is identical to the sequential path
+        regardless of lane width, lookahead, or cap.
         """
         keys = list(keys)
         if len(keys) < 2:
             return [self(key) for key in keys]
         self._ensure_stages()
-        from concurrent.futures import ThreadPoolExecutor
+        lane = shared_compile_lane()
+        lookahead = max(1, int(self.lookahead))
+        budget = self.inflight_artifact_bytes
+        # Batch-local in-flight accounting: done-callbacks (lane threads)
+        # add an artifact's bytes when its compile completes, the consume
+        # loop subtracts them as it takes the artifact.  Both fire exactly
+        # once per future, so transient orderings only ever skew the gate,
+        # never the results.
+        account_lock = Lock()
+        inflight = [0]
 
-        lane = ThreadPoolExecutor(max_workers=1, thread_name_prefix="compile-lane")
-        try:
-            futures = [lane.submit(self._compile_outcome, key) for key in keys]
-            return [self._finish(future.result()) for future in futures]
-        finally:
-            lane.shutdown(wait=False, cancel_futures=True)
+        def _submit(key: FlagKey):
+            future = lane.submit(self._compile_outcome, key)
+
+            def _completed(done_future) -> None:
+                if done_future.cancelled() or done_future.exception() is not None:
+                    return
+                size = self._outcome_bytes(done_future.result())
+                with account_lock:
+                    inflight[0] += size
+
+            future.add_done_callback(_completed)
+            return future
+
+        pending = deque()
+        next_index = 0
+        results: List[CandidateResult] = []
+        while len(results) < len(keys):
+            # Refill the window *before* finishing the head outcome, so the
+            # lane keeps compiling while this thread emulates and scores.
+            while next_index < len(keys) and len(pending) < lookahead:
+                if pending and budget is not None:
+                    with account_lock:
+                        over_budget = inflight[0] >= budget
+                    if over_budget:
+                        break
+                pending.append(_submit(keys[next_index]))
+                next_index += 1
+            outcome = pending.popleft().result()
+            with account_lock:
+                inflight[0] -= self._outcome_bytes(outcome)
+            results.append(self._finish(outcome))
+        return results
 
     # -- artifact reuse beyond the search loop ------------------------------------
 

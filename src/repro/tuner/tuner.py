@@ -34,6 +34,8 @@ from repro.tuner.evaluation import (
 )
 from repro.tuner.pipeline import (
     DEFAULT_ARTIFACT_CACHE_SIZE,
+    DEFAULT_COMPILE_LOOKAHEAD,
+    DEFAULT_INFLIGHT_ARTIFACT_BYTES,
     PIPELINES,
     ArtifactCache,
     CompileStage,
@@ -137,6 +139,13 @@ class BinTunerConfig:
     store_dir: Optional[Path] = None
     #: Byte budget of the store's LRU garbage collection (``None``: unbounded).
     store_max_bytes: Optional[int] = DEFAULT_STORE_MAX_BYTES
+    #: How many candidates the persistent compile lane may run ahead of the
+    #: measure/score lane within one batch (staged pipeline only).
+    lookahead: int = DEFAULT_COMPILE_LOOKAHEAD
+    #: Byte cap on compiled-but-unconsumed artifacts per batch; the lane
+    #: pauses submissions past it (``None`` disables the cap).  Purely a
+    #: memory bound — results are identical for any value.
+    inflight_artifact_bytes: Optional[int] = DEFAULT_INFLIGHT_ARTIFACT_BYTES
 
 
 @dataclass
@@ -288,6 +297,8 @@ class BinTuner:
                         if self.config.store_dir is not None else None
                     ),
                     store_max_bytes=self.config.store_max_bytes,
+                    lookahead=self.config.lookahead,
+                    inflight_artifact_bytes=self.config.inflight_artifact_bytes,
                     **common,
                 )
             else:

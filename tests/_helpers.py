@@ -15,10 +15,12 @@ def fresh_process_state() -> None:
     Shared by the restart-warmth tests across modules — a new process-global
     registry must be added here, once, to keep all of them honest.
     """
+    from repro.analysis.emulator import reset_decoded_programs
     from repro.tuner import reset_persistent_stores, reset_shared_artifact_caches
 
     reset_shared_artifact_caches()
     reset_persistent_stores()
+    reset_decoded_programs()
 
 
 def loopback_available() -> bool:

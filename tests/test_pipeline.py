@@ -48,6 +48,8 @@ from repro.tuner import (
     TunerCandidateEvaluator,
     persistent_store,
     shared_artifact_cache,
+    shared_compile_lane,
+    shutdown_compile_lane,
 )
 from repro.tuner.evaluation import split_into_chunks
 
@@ -312,6 +314,48 @@ class TestStagedEvaluator:
         keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2")]
         with pytest.raises(TypeError):
             evaluator.evaluate_batch(keys)
+
+    def test_lookahead_and_cap_never_change_results(self, llvm):
+        """The lookahead window and the in-flight byte cap schedule work;
+        they must never reorder or alter a single result."""
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2", "O3", "Os")]
+        keys.append(("-fpartial-inlining",))  # invalid rides along
+
+        def run(**knobs):
+            evaluator = StagedCandidateEvaluator(
+                compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+                artifact_cache=ArtifactCache(), **knobs,
+            )
+            return [
+                (r.fitness, r.code_size, r.fingerprint, r.valid)
+                for r in evaluator.evaluate_batch(keys)
+            ]
+
+        reference = run(lookahead=1)
+        assert run(lookahead=8) == reference
+        assert run(lookahead=3, inflight_artifact_bytes=1) == reference
+        assert run(lookahead=3, inflight_artifact_bytes=None) == reference
+
+    def test_compile_lane_is_persistent_and_process_wide(self, llvm):
+        lane = shared_compile_lane()
+        assert shared_compile_lane() is lane  # singleton across callers
+        baseline = llvm.compile_level(TINY_SOURCE, "O0", name="tiny").image
+        evaluator = StagedCandidateEvaluator(
+            compiler=llvm, source=TINY_SOURCE, name="tiny", baseline=baseline,
+            artifact_cache=ArtifactCache(),
+        )
+        keys = [tuple(llvm.preset(level).sorted_names()) for level in ("O1", "O2")]
+        evaluator.evaluate_batch(keys)
+        evaluator.evaluate_batch(keys)
+        # Batches never tore the lane down.
+        assert shared_compile_lane() is lane
+        # The test hook rebuilds it (what a forked child does via the pid
+        # guard): a fresh executor, still usable.
+        shutdown_compile_lane()
+        rebuilt = shared_compile_lane()
+        assert rebuilt is not lane
+        assert rebuilt.submit(lambda: 42).result() == 42
 
     def test_split_into_chunks_is_deterministic_and_total(self):
         items = list(range(11))
