@@ -24,6 +24,13 @@ Examples::
 
     # Regenerate the report tables from checkpoints alone (no re-tuning)
     python -m repro.campaign report /tmp/campaign
+
+    # Run the multi-tenant tuning service (pickle-free client wire format)
+    python -m repro.campaign serve --bind 127.0.0.1:7410 --state-dir /tmp/svc
+
+    # ... and submit a job to it, streaming generation summaries
+    python -m repro.campaign submit --connect 127.0.0.1:7410 \\
+        --tenant alice --program work --source work.c --generations 8 --stream
 """
 
 from __future__ import annotations
@@ -47,7 +54,7 @@ logger = logging.getLogger("repro.campaign.cli")
 
 #: Subcommands in front of the default run mode (``argv[0]`` dispatch keeps
 #: every pre-existing flag invocation working unchanged).
-SUBCOMMANDS = ("report", "worker")
+SUBCOMMANDS = ("report", "worker", "serve", "submit")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -584,6 +591,175 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve / submit: the tuning service and its client
+# ---------------------------------------------------------------------------
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign serve",
+        description="Run the multi-tenant tuning service: clients submit "
+                    "jobs over the pickle-free wire format; a fair-share "
+                    "queue interleaves tenants' generations over one shared "
+                    "worker fleet and artifact mesh.",
+    )
+    parser.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="client-plane listen address (default: 127.0.0.1:0)")
+    parser.add_argument("--token", default=os.environ.get("REPRO_SERVICE_TOKEN"),
+                        help="shared bearer token clients must send "
+                             "(default: $REPRO_SERVICE_TOKEN; unset = open, "
+                             "loopback only)")
+    parser.add_argument("--state-dir", type=Path, default=None,
+                        help="durability root: job table, per-job database "
+                             "shards, artifact store; restart over the same "
+                             "directory to resume unfinished jobs")
+    parser.add_argument("--dispatch",
+                        choices=("serial", "process", "thread", "distributed"),
+                        default="serial",
+                        help="worker-plane substrate (default: serial)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--serve-workers", default=None, metavar="HOST:PORT",
+                        help="with --dispatch distributed: address the "
+                             "worker-plane coordinator binds")
+    parser.add_argument("--authkey", default=os.environ.get("REPRO_DISTRIB_AUTHKEY"),
+                        help="worker-plane handshake secret "
+                             "(default: $REPRO_DISTRIB_AUTHKEY)")
+    parser.add_argument("--min-workers", type=int, default=0,
+                        help="with --dispatch distributed: wait for this many "
+                             "workers before serving clients' jobs")
+    parser.add_argument("--max-active-jobs", type=int, default=4,
+                        help="concurrent job runner cap (default: 4); the "
+                             "fair-share turnstile serializes generations "
+                             "regardless")
+    parser.add_argument("--max-source-bytes", type=int, default=None,
+                        help="admission cap on submitted source size "
+                             "(default: 262144)")
+    parser.add_argument("--max-generations", type=int, default=None,
+                        help="admission cap on budget.generations (default: 512)")
+    parser.add_argument("--obs-port", type=int, default=None, metavar="PORT",
+                        help="serve /metrics + /status (per-tenant accounting "
+                             "included) on this port; 0 = ephemeral")
+    parser.add_argument("--obs-host", default="127.0.0.1", metavar="HOST")
+    parser.add_argument("--telemetry-dir", type=Path, default=None,
+                        help="write tenant-tagged spans as JSONL here "
+                             "(render with python -m repro.telemetry report)")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.verbose and args.quiet:
+        parser.error("--verbose and --quiet are mutually exclusive")
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    from repro.distrib.protocol import parse_address
+    from repro.distrib.service import ServiceConfig, TuningService, serve_forever
+    from repro.distrib.jobs import AdmissionLimits
+
+    host, port = parse_address(args.bind)
+    limit_knobs = {}
+    if args.max_source_bytes is not None:
+        limit_knobs["max_source_bytes"] = args.max_source_bytes
+    if args.max_generations is not None:
+        limit_knobs["max_generations"] = args.max_generations
+    service = TuningService(ServiceConfig(
+        host=host, port=port, token=args.token, state_dir=args.state_dir,
+        dispatch=args.dispatch, workers=args.workers,
+        serve_workers=args.serve_workers, authkey=args.authkey,
+        limits=AdmissionLimits(**limit_knobs),
+        max_active_jobs=args.max_active_jobs,
+        obs_port=args.obs_port, obs_host=args.obs_host,
+        telemetry_dir=args.telemetry_dir,
+    ))
+    logger.info("tuning service: clients connect to %s", service.address_string())
+    if service.worker_address() is not None:
+        logger.info("worker plane: python -m repro.distrib.worker --connect %s",
+                    service.worker_address())
+        if args.min_workers > 0:
+            logger.info("waiting for %d worker(s)...", args.min_workers)
+            service.wait_for_workers(args.min_workers)
+    if service.obs_server is not None:
+        logger.info("observability: %s/status", service.obs_server.url())
+    serve_forever(service)
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign submit",
+        description="Submit one tuning job to a running service and "
+                    "(optionally) stream its generation summaries.",
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT")
+    parser.add_argument("--token", default=os.environ.get("REPRO_SERVICE_TOKEN"))
+    parser.add_argument("--tenant", required=True)
+    parser.add_argument("--program", required=True)
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--source", type=Path, default=None,
+                        help="file whose text is the program source")
+    source.add_argument("--benchmark", default=None,
+                        help="a bundled workload name instead of a file")
+    parser.add_argument("--family", default="gcc")
+    parser.add_argument("--generations", type=int, default=8)
+    parser.add_argument("--population", type=int, default=8)
+    parser.add_argument("--stall-window", type=int, default=60)
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--stream", action="store_true",
+                        help="stream generation events until the job finishes")
+    parser.add_argument("--json", type=Path, default=None, dest="json_out",
+                        help="write the final status row to this JSON file")
+    return parser
+
+
+def submit_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_submit_parser().parse_args(argv)
+    from repro.distrib.client import ServiceClient
+    from repro.distrib.errors import ServiceError
+
+    if args.source is not None:
+        source_text = args.source.read_text()
+    else:
+        from repro.workloads import benchmark
+
+        source_text = benchmark(args.benchmark).source
+    try:
+        with ServiceClient(args.connect, token=args.token) as client:
+            job_id = client.submit(
+                args.tenant, args.program, source_text, args.family,
+                generations=args.generations, population=args.population,
+                stall_window=args.stall_window, priority=args.priority,
+            )
+            print(f"submitted {job_id}")
+            if args.stream:
+                for event in client.stream(job_id):
+                    data = event["data"]
+                    if event["kind"] == "generation":
+                        print(f"  gen {data['generation']:3d}: "
+                              f"evaluated {data['evaluated_total']:4d}, "
+                              f"best fitness {data['best_fitness']}, "
+                              f"compile {data['compile_seconds']}s")
+                    else:
+                        print(f"  {event['kind']}")
+                row = client.status(job_id)
+            else:
+                row = client.wait(job_id)
+            result = row.get("result")
+            if result is not None:
+                print(f"{row['state']}: best fitness {result['best_fitness']} "
+                      f"over {result['iterations']} iterations")
+                print(f"fingerprint: {result['fingerprint']}")
+            else:
+                print(f"{row['state']}: {row.get('error')}")
+            if args.json_out is not None:
+                args.json_out.write_text(json.dumps(row, indent=2))
+            return 0 if row["state"] == "done" else 1
+    except ServiceError as exc:
+        print(f"rejected [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -595,4 +771,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.distrib.worker import main as worker_main
 
         return worker_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return submit_main(argv[1:])
     return run_main(argv)

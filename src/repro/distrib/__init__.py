@@ -19,7 +19,12 @@ behind an ordered ``map(keys) -> results`` — completely fixed:
   tier-2 entries to the coordinator's store and fetch their misses from
   any other machine's past work, digest-verified on every hop;
 * :mod:`repro.distrib.errors` — the failure taxonomy (transport losses are
-  recovered; programming errors propagate).
+  recovered; programming errors propagate);
+* :mod:`repro.distrib.wire`, :mod:`repro.distrib.jobs`,
+  :mod:`repro.distrib.service`, :mod:`repro.distrib.client` — the tuning
+  *service* plane: a pickle-free, schema-validated client wire format and a
+  long-lived multi-tenant job API over the shared fleet and artifact mesh
+  (workers keep the trusted pickle protocol above; clients never reach it).
 
 Because results are slotted by submission index — never completion order —
 a distributed run is bit-for-bit identical to a serial one for any worker
@@ -33,6 +38,7 @@ from repro.distrib.errors import (
     DistribError,
     ProtocolError,
     RemoteEvaluationError,
+    ServiceError,
     WorkerLost,
 )
 from repro.distrib.mapper import DistributedMapper
@@ -51,6 +57,16 @@ def __getattr__(name: str):
         from repro.distrib.worker import run_worker
 
         return run_worker
+    # The service plane loads lazily too: it pulls in repro.campaign (the
+    # pool/compiler wiring), which plain mapper users never need.
+    if name in ("TuningService", "ServiceConfig"):
+        from repro.distrib import service
+
+        return getattr(service, name)
+    if name == "ServiceClient":
+        from repro.distrib.client import ServiceClient
+
+        return ServiceClient
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -62,6 +78,10 @@ __all__ = [
     "DistributedMapper",
     "ProtocolError",
     "RemoteEvaluationError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "TuningService",
     "WorkerHandle",
     "WorkerLost",
     "format_address",

@@ -43,3 +43,16 @@ class WorkerLost(DistribError):
 class RemoteEvaluationError(DistribError):
     """A worker's evaluator raised, and the original exception did not
     survive the pickle round-trip; the remote traceback text is preserved."""
+
+
+class ServiceError(DistribError):
+    """A client-plane failure with a stable machine-readable status code.
+
+    The tuning service answers these as typed ``error`` frames (wire and
+    admission failures alike), and the client raises them back to callers;
+    ``code`` is the contract, ``message`` the human-readable detail.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code

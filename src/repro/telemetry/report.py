@@ -120,6 +120,43 @@ def span_breakdown(events: Sequence[Dict[str, object]]) -> List[Dict[str, object
     return rows
 
 
+def tenant_breakdown(events: Sequence[Dict[str, object]]
+                     ) -> List[Dict[str, object]]:
+    """Per-tenant totals from the tuning service's tenant-tagged spans.
+
+    The service stamps every ``service.job`` / ``service.generation`` span
+    with a ``tenant`` attribute; this groups the generation spans by it —
+    the telemetry-side view of the same fair-share accounting the service
+    serves on ``/status``.  Empty for runs without a service (no such
+    spans), so the table only appears when it has something to say.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for record in spans(events):
+        attrs = record.get("attrs")
+        if not isinstance(attrs, dict) or "tenant" not in attrs:
+            continue
+        if record.get("name") != "service.generation":
+            continue
+        tenant = str(attrs["tenant"])
+        entry = totals.setdefault(
+            tenant, {"generations": 0, "seconds": 0.0, "jobs": set()}
+        )
+        entry["generations"] += 1
+        entry["seconds"] += _as_float(record.get("dur", 0.0))
+        entry["jobs"].add(str(attrs.get("job", "?")))
+    rows = [
+        {
+            "tenant": tenant,
+            "jobs": len(entry["jobs"]),
+            "generations": int(entry["generations"]),
+            "seconds": entry["seconds"],
+        }
+        for tenant, entry in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row["seconds"], row["tenant"]))
+    return rows
+
+
 #: Attribute names of the per-generation artifact-tier deltas the engine
 #: records on its ``engine.generation`` spans.
 _TIER_FIELDS = (
@@ -360,6 +397,14 @@ def report_main(args) -> int:
                   f"{row['tier1_ratio']:6.1%} {row['tier2_ratio']:6.1%} "
                   f"{row['mesh_ratio']:6.1%} {row['miss_ratio']:6.1%}")
 
+    tenants = tenant_breakdown(events)
+    if tenants:
+        print("\nper-tenant service time (fair-share view):")
+        print(f"  {'tenant':20s} {'jobs':>5s} {'generations':>12s} {'total s':>9s}")
+        for row in tenants:
+            print(f"  {row['tenant']:20s} {row['jobs']:5d} "
+                  f"{row['generations']:12d} {row['seconds']:9.2f}")
+
     fleet = worker_rows(events)
     if fleet:
         print("\nworker utilization:")
@@ -401,6 +446,7 @@ def report_main(args) -> int:
             "processes": processes,
             "breakdown": breakdown,
             "tier_ratios": tiers,
+            "tenants": tenants,
             "fleet": fleet,
             "latency": latencies,
             "counters": counters,
